@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it computes the
+same rows/series the paper reports, prints them next to the paper's numbers
+(where the paper gives them), and times the underlying computation with
+pytest-benchmark.  Absolute agreement is not expected — the substrate is an
+analytical/event model rather than SSDsim + RTL — but orderings, rough
+factors and crossovers are asserted in the regular test suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function):
+    """Benchmark ``function`` with a single round (engine sweeps are already
+    aggregates; statistical repetition adds nothing but wall-clock time)."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,51 @@
+"""Fig. 1 — arithmetic-intensity and reduction-ratio comparison.
+
+Regenerates (a) the arithmetic intensity of single-batch LLM decode versus
+other AI workloads and hardware ceilings, and (b) the reduction-ratio gap
+between the LLM GeMV and prior in-storage-computing workloads.
+"""
+
+from repro.analysis.reduction import REFERENCE_ISC_WORKLOADS, llm_gemv_reduction_entry
+from repro.analysis.roofline import (
+    REFERENCE_PLATFORMS,
+    REFERENCE_WORKLOADS,
+    llm_decode_point,
+    llm_prefill_point,
+)
+from repro.reporting import print_table
+
+
+def _figure_rows():
+    decode = llm_decode_point("llama2-7b")
+    prefill = llm_prefill_point("llama2-7b")
+    intensity_rows = [[decode.name, decode.arithmetic_intensity, "~2 (paper)"]]
+    intensity_rows.append([prefill.name, prefill.arithmetic_intensity, ">100"])
+    for workload in REFERENCE_WORKLOADS:
+        intensity_rows.append([workload.name, workload.arithmetic_intensity, "30-100x above decode"])
+    for platform in REFERENCE_PLATFORMS:
+        intensity_rows.append(
+            [f"{platform.name} (machine balance)", platform.machine_balance, ">100x above decode"]
+        )
+
+    reduction_rows = [
+        [entry.name, entry.reduction_ratio, entry.source_system]
+        for entry in (llm_gemv_reduction_entry("llama2-7b"),) + REFERENCE_ISC_WORKLOADS
+    ]
+    return intensity_rows, reduction_rows
+
+
+def test_fig01_arithmetic_intensity_and_reduction_ratio(benchmark, once):
+    intensity_rows, reduction_rows = once(benchmark, _figure_rows)
+    print_table(
+        "Fig. 1(a) — arithmetic intensity (ops/byte)",
+        ["workload / platform", "ops per byte", "paper position"],
+        intensity_rows,
+    )
+    print_table(
+        "Fig. 1(b) — reduction ratio (input / output size)",
+        ["workload", "reduction ratio", "source system"],
+        reduction_rows,
+    )
+    decode_intensity = intensity_rows[0][1]
+    assert 1.5 <= decode_intensity <= 2.5
+    assert reduction_rows[0][1] > 100 * max(r[1] for r in reduction_rows[1:])

@@ -1,0 +1,43 @@
+"""Fig. 11 — decode speed under W8A8 versus W4A16 quantization."""
+
+from repro.core import InferenceEngine, cambricon_llm_l, cambricon_llm_s
+from repro.llm.models import PAPER_MODEL_ORDER
+from repro.reporting import print_table
+
+PAPER_GAINS = {"Cambricon-LLM-S": 1.853, "Cambricon-LLM-L": 1.479}
+
+
+def _rows(config_factory):
+    config = config_factory()
+    w8 = InferenceEngine(config)
+    w4 = InferenceEngine(config.with_quantization(4, 16))
+    rows = []
+    for model in PAPER_MODEL_ORDER:
+        base = w8.decode_speed(model)
+        quant = w4.decode_speed(model)
+        rows.append([model, base, quant, quant / base])
+    return rows
+
+
+def test_fig11a_w4a16_on_cambricon_s(benchmark, once):
+    rows = once(benchmark, lambda: _rows(cambricon_llm_s))
+    print_table(
+        "Fig. 11(a) — Cambricon-LLM-S decode speed, W8A8 vs W4A16 (paper avg gain 1.85x)",
+        ["model", "W8A8 (tok/s)", "W4A16 (tok/s)", "speedup"],
+        rows,
+    )
+    average_gain = sum(r[3] for r in rows) / len(rows)
+    assert 1.3 < average_gain < 2.0
+
+
+def test_fig11b_w4a16_on_cambricon_l(benchmark, once):
+    rows = once(benchmark, lambda: _rows(cambricon_llm_l))
+    print_table(
+        "Fig. 11(b) — Cambricon-LLM-L decode speed, W8A8 vs W4A16 (paper avg gain 1.48x)",
+        ["model", "W8A8 (tok/s)", "W4A16 (tok/s)", "speedup"],
+        rows,
+    )
+    average_gain = sum(r[3] for r in rows) / len(rows)
+    assert 1.1 < average_gain < 2.0
+    # Larger models benefit more (they are more weight-bandwidth bound).
+    assert rows[3][3] >= rows[0][3]

@@ -1,0 +1,30 @@
+"""Fig. 13 — decode speed of Cam-LLM-S under different tile shapes."""
+
+from repro.core import InferenceEngine, TileShape, cambricon_llm_s
+from repro.llm.models import PAPER_MODEL_ORDER
+from repro.reporting import print_table
+
+TILES = (TileShape(256, 2048), TileShape(128, 4096), TileShape(4096, 128))
+
+
+def _rows():
+    engines = {tile: InferenceEngine(cambricon_llm_s(), tile=tile) for tile in TILES}
+    rows = []
+    for model in PAPER_MODEL_ORDER:
+        speeds = [engines[tile].decode_speed(model) for tile in TILES]
+        rows.append([model] + speeds + [speeds[0] / speeds[2]])
+    return rows
+
+
+def test_fig13_tile_shape_ablation(benchmark, once):
+    rows = once(benchmark, _rows)
+    print_table(
+        "Fig. 13 — tile-shape ablation on Cambricon-LLM-S "
+        "(paper: 256x2048 beats 128x4096 by 17.5% and 4096x128 by 24.7%)",
+        ["model", "256x2048 (tok/s)", "128x4096 (tok/s)", "4096x128 (tok/s)", "best/worst"],
+        rows,
+    )
+    for row in rows:
+        optimal, wide, tall = row[1], row[2], row[3]
+        assert optimal >= wide * 0.999
+        assert optimal > tall

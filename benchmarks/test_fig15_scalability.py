@@ -1,0 +1,62 @@
+"""Fig. 15 — scalability with chip count per channel and with channel count."""
+
+from repro.core import InferenceEngine, cambricon_llm_s
+from repro.llm.models import OPT_MODELS
+from repro.reporting import print_table
+
+CHIP_SWEEP = (1, 2, 4, 8, 16, 32, 64, 128)
+CHANNEL_SWEEP = (1, 2, 4, 8, 16, 32, 64)
+SWEEP_MODELS = ("opt-6.7b", "opt-13b", "opt-30b")
+
+
+def _chip_rows():
+    rows = []
+    for chips in CHIP_SWEEP:
+        config = cambricon_llm_s().with_flash_scale(channels=8, chips_per_channel=chips)
+        engine = InferenceEngine(config)
+        reports = [engine.decode_report(model) for model in SWEEP_MODELS]
+        rows.append(
+            [chips]
+            + [report.tokens_per_second for report in reports]
+            + [100 * reports[0].channel_utilization]
+        )
+    return rows
+
+
+def _channel_rows():
+    rows = []
+    for channels in CHANNEL_SWEEP:
+        config = cambricon_llm_s().with_flash_scale(channels=channels, chips_per_channel=4)
+        engine = InferenceEngine(config)
+        reports = [engine.decode_report(model) for model in SWEEP_MODELS]
+        rows.append(
+            [channels]
+            + [report.tokens_per_second for report in reports]
+            + [100 * reports[0].channel_utilization]
+        )
+    return rows
+
+
+def test_fig15ac_chip_count_scaling(benchmark, once):
+    rows = once(benchmark, _chip_rows)
+    print_table(
+        "Fig. 15(a)/(c) — decode speed and channel usage vs chips per channel (8 channels)",
+        ["chips/channel"] + list(SWEEP_MODELS) + ["channel usage (%)"],
+        rows,
+    )
+    speeds = [row[1] for row in rows]
+    assert speeds[3] > 2 * speeds[0]                       # early scaling is strong
+    assert speeds[-1] / speeds[-2] < speeds[1] / speeds[0]  # and saturates (Fig. 15a)
+    assert rows[-1][-1] < rows[0][-1]                       # usage drops (Fig. 15c)
+
+
+def test_fig15bd_channel_count_scaling(benchmark, once):
+    rows = once(benchmark, _channel_rows)
+    print_table(
+        "Fig. 15(b)/(d) — decode speed and channel usage vs channel count (4 chips/channel)",
+        ["channels"] + list(SWEEP_MODELS) + ["channel usage (%)"],
+        rows,
+    )
+    speeds = [row[1] for row in rows]
+    assert all(later > earlier for earlier, later in zip(speeds, speeds[1:]))
+    assert rows[-1][-1] <= rows[0][-1] + 1e-9

@@ -1,0 +1,21 @@
+"""Table I — storage density of DRAM versus NAND flash."""
+
+from repro.cost.density import STORAGE_DENSITY_TABLE, density_advantage
+from repro.reporting import print_table
+
+
+def _rows():
+    return [
+        [e.manufacturer, e.memory_type, e.layers, e.density_gbit_per_mm2, e.area_mm2_for_bytes(80e9)]
+        for e in STORAGE_DENSITY_TABLE
+    ]
+
+
+def test_table1_storage_density(benchmark, once):
+    rows = once(benchmark, _rows)
+    print_table(
+        "Table I — storage density (and area to hold an 80 GB model)",
+        ["manufacturer", "type", "layers", "Gb/mm^2", "mm^2 for 80 GB"],
+        rows,
+    )
+    assert density_advantage() > 60

@@ -1,0 +1,27 @@
+"""Table IV — area and power overhead of the on-die Compute Core."""
+
+from repro.cost.area import ComputeCoreAreaModel
+from repro.reporting import print_table
+
+
+def _rows():
+    model = ComputeCoreAreaModel()
+    rows = [
+        [entry.name, entry.area_um2, entry.power_uw]
+        for entry in model.components().values()
+    ]
+    rows.append(["Total Compute Core", model.total_area_um2(), model.total_power_uw()])
+    rows.append(
+        ["Overhead vs flash die", f"{100 * model.die_area_overhead():.1f}%", f"{100 * model.die_power_overhead():.1f}%"]
+    )
+    return rows
+
+
+def test_table4_area_power(benchmark, once):
+    rows = once(benchmark, _rows)
+    print_table(
+        "Table IV — Compute Core area and power (paper: 1.2% area, 4.5% power overhead)",
+        ["component", "area (um^2)", "power (uW)"],
+        rows,
+    )
+    assert float(rows[-2][1]) < 100000

@@ -1,0 +1,28 @@
+"""Table V — memory cost of Cambricon-LLM vs a traditional DRAM-only design."""
+
+from repro.cost.bom import BillOfMaterials, chiplet_packaging_bound
+from repro.reporting import print_table
+
+
+def _rows():
+    bom = BillOfMaterials(weight_gb=80, kv_cache_gb=2)
+    cambricon = bom.cambricon_llm()
+    traditional = bom.traditional()
+    rows = [
+        [system.name, system.dram_gb, system.dram_cost, system.flash_gb, system.flash_cost, system.total_cost]
+        for system in (cambricon, traditional)
+    ]
+    rows.append(["Savings", "", "", "", "", bom.savings()])
+    return rows
+
+
+def test_table5_cost(benchmark, once):
+    rows = once(benchmark, _rows)
+    print_table(
+        "Table V — memory bill of materials for 70B INT8 inference "
+        "(paper: $43.67 vs $194.68; chiplet packaging bounded below $100)",
+        ["system", "DRAM (GB)", "DRAM ($)", "Flash (GB)", "Flash ($)", "Total ($)"],
+        rows,
+    )
+    assert rows[0][5] < 0.3 * rows[1][5]
+    assert chiplet_packaging_bound(600.0) <= 100.0

@@ -1,0 +1,75 @@
+"""Scenario: size the flash array for a target interactive experience.
+
+A device vendor wants the cheapest chiplet that decodes a given model at a
+target speed.  This example sweeps channel and chip counts (the paper's
+Fig. 15 axes), reports speed, channel utilisation and NPU buffer needs, and
+picks the smallest configuration meeting the target — the kind of design
+space exploration the Cambricon-LLM performance model is built for.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import InferenceEngine, cambricon_llm_s
+from repro.npu.buffers import BufferSpec
+from repro.reporting import print_table
+
+CHANNEL_OPTIONS = (4, 8, 16, 32)
+CHIP_OPTIONS = (1, 2, 4, 8)
+
+
+def explore(model: str, target_tokens_per_second: float):
+    rows = []
+    best = None
+    for channels in CHANNEL_OPTIONS:
+        for chips in CHIP_OPTIONS:
+            config = cambricon_llm_s().with_flash_scale(
+                channels=channels, chips_per_channel=chips
+            )
+            if not config.flash.can_store(75e9 if "70b" in model else 35e9):
+                continue
+            engine = InferenceEngine(config)
+            report = engine.decode_report(model)
+            buffer_bytes = BufferSpec.required_weight_buffer(channels, config.page_bytes)
+            meets_target = report.tokens_per_second >= target_tokens_per_second
+            rows.append(
+                [
+                    channels,
+                    chips,
+                    config.flash.total_compute_cores,
+                    report.tokens_per_second,
+                    100 * report.channel_utilization,
+                    buffer_bytes / 1024,
+                    meets_target,
+                ]
+            )
+            if meets_target:
+                cost_proxy = channels * chips
+                if best is None or cost_proxy < best[0]:
+                    best = (cost_proxy, channels, chips, report.tokens_per_second)
+    return rows, best
+
+
+def main(model: str = "llama2-7b", target: float = 10.0) -> None:
+    rows, best = explore(model, target)
+    print_table(
+        f"Design space for {model} (target {target:.0f} token/s)",
+        ["channels", "chips/ch", "cores", "token/s", "channel use (%)", "NPU buffer (KiB)", "meets target"],
+        rows,
+    )
+    if best is None:
+        print("\nNo swept configuration meets the target; increase parallelism.")
+    else:
+        _, channels, chips, speed = best
+        print(
+            f"\nSmallest configuration meeting the target: {channels} channels x "
+            f"{chips} chips/channel ({speed:.1f} token/s)."
+        )
+
+
+if __name__ == "__main__":
+    arguments = sys.argv[1:]
+    model_name = arguments[0] if arguments else "llama2-7b"
+    target_speed = float(arguments[1]) if len(arguments) > 1 else 10.0
+    main(model_name, target_speed)

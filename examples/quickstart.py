@@ -1,0 +1,63 @@
+"""Quickstart: estimate on-device decode speed for one model and configuration.
+
+Run with::
+
+    python examples/quickstart.py [model] [config]
+
+e.g. ``python examples/quickstart.py llama2-70b L``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import InferenceEngine, get_config, list_models
+from repro.reporting import print_table
+
+
+def main(model: str = "llama2-70b", config_name: str = "L") -> None:
+    config = get_config(config_name)
+    engine = InferenceEngine(config)
+    report = engine.decode_report(model)
+
+    print(f"Model            : {report.model_name}")
+    print(f"Configuration    : {report.config_name}")
+    print(f"Tile shape       : {report.tile}")
+    print(f"Flash share alpha: {report.alpha:.2f}")
+    print(f"Decode speed     : {report.tokens_per_second:.2f} token/s "
+          f"({1e3 * report.token_seconds:.1f} ms per token)")
+    print(f"Channel usage    : {100 * report.channel_utilization:.0f}%")
+
+    timing = report.layer_timing
+    print_table(
+        "Per-layer latency breakdown (one decode step)",
+        ["component", "milliseconds"],
+        [
+            ["weight GeMVs (flash + NPU)", 1e3 * timing.weight_seconds],
+            ["exposed KV-cache attention", 1e3 * timing.kv_seconds],
+            ["SFU / element-wise", 1e3 * timing.sfu_seconds],
+            ["pipeline sync", 1e3 * timing.sync_seconds],
+            ["LM head (once per token)", 1e3 * report.lm_head_seconds],
+        ],
+    )
+
+    traffic = report.traffic
+    print_table(
+        "Per-token data movement",
+        ["path", "GB"],
+        [
+            ["NAND array reads (inside flash)", traffic.flash_internal_bytes / 1e9],
+            ["weights streamed over D2D link", traffic.d2d_stream_bytes / 1e9],
+            ["input/result vectors over D2D link", traffic.d2d_vector_bytes / 1e9],
+            ["KV cache from LPDDR", traffic.dram_kv_bytes / 1e9],
+        ],
+    )
+
+
+if __name__ == "__main__":
+    arguments = sys.argv[1:]
+    if arguments and arguments[0] in ("-h", "--help"):
+        print(__doc__)
+        print("Available models:", ", ".join(list_models()))
+        sys.exit(0)
+    main(*arguments)

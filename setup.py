@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+legacy editable installs (``pip install -e . --no-use-pep517``) work on
+systems without the ``wheel`` package or network access.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""Cambricon-LLM reproduction library.
+
+A pure-Python model of the chiplet NPU + in-flash-computing architecture of
+*Cambricon-LLM: A Chiplet-Based Hybrid Architecture for On-Device Inference
+of 70B LLM* (MICRO 2024), including the NAND-flash and NPU substrates, the
+hardware-aware tiling scheduler, the outlier-oriented on-die ECC, the
+offloading baselines and the full benchmark harness that regenerates the
+paper's tables and figures.
+
+Quick start::
+
+    from repro import InferenceEngine, cambricon_llm_l
+
+    engine = InferenceEngine(cambricon_llm_l())
+    report = engine.decode_report("llama2-70b")
+    print(report.tokens_per_second)
+"""
+
+from repro.core import (
+    CambriconLLMConfig,
+    DecodeReport,
+    InferenceEngine,
+    TileShape,
+    TilingStrategy,
+    WorkloadPartition,
+    cambricon_llm_l,
+    cambricon_llm_m,
+    cambricon_llm_s,
+    get_config,
+)
+from repro.llm import DecodeWorkload, ModelSpec, get_model, list_models
+from repro.flash import FlashGeometry, FlashTiming, SliceControl, SlicePolicy
+from repro.npu import NPUSpec
+from repro.baselines import FlexGenDRAM, FlexGenSSD, MLCLLM
+from repro.ecc import BitFlipErrorModel, PageCodec, PageLayout
+from repro.accuracy import ErrorInjectionStudy, ProxyLLM, paper_tasks
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CambriconLLMConfig",
+    "InferenceEngine",
+    "DecodeReport",
+    "TileShape",
+    "TilingStrategy",
+    "WorkloadPartition",
+    "cambricon_llm_s",
+    "cambricon_llm_m",
+    "cambricon_llm_l",
+    "get_config",
+    "ModelSpec",
+    "DecodeWorkload",
+    "get_model",
+    "list_models",
+    "FlashGeometry",
+    "FlashTiming",
+    "SliceControl",
+    "SlicePolicy",
+    "NPUSpec",
+    "FlexGenSSD",
+    "FlexGenDRAM",
+    "MLCLLM",
+    "BitFlipErrorModel",
+    "PageCodec",
+    "PageLayout",
+    "ErrorInjectionStudy",
+    "ProxyLLM",
+    "paper_tasks",
+]

@@ -1,0 +1,25 @@
+"""Accuracy-under-flash-error substrate.
+
+The paper measures how OPT-6.7B accuracy on HellaSwag / ARC / WinoGrande
+degrades when bit flips are injected into its INT8 weights, with and without
+the on-die ECC (Fig. 3b and Fig. 10).  Running a real 6.7B model is out of
+scope for this laptop reproduction, so this package provides a *proxy LLM*:
+a small numpy network whose weights are restructured (SmoothQuant-style scale
+folding) so that ~1 % of them are genuine outliers carrying most of the
+function — the property of real LLM weights the ECC design exploits.  The
+error-injection study then reproduces the paper's accuracy-vs-error-rate
+curves in shape.
+"""
+
+from repro.accuracy.tasks import SyntheticTask, paper_tasks
+from repro.accuracy.proxy_model import ProxyLLM, QuantizedProxyWeights
+from repro.accuracy.evaluation import ErrorInjectionStudy, ErrorInjectionResult
+
+__all__ = [
+    "SyntheticTask",
+    "paper_tasks",
+    "ProxyLLM",
+    "QuantizedProxyWeights",
+    "ErrorInjectionStudy",
+    "ErrorInjectionResult",
+]

@@ -1,0 +1,165 @@
+"""Proxy LLM with controlled outlier structure.
+
+The network is a two-layer ReLU model: a feature layer ``W1`` and a trained
+readout ``W2``.  After training, a SmoothQuant-style *scale folding* step
+multiplies a small fraction of W1's rows by a large factor and divides the
+matching W2 columns by the same factor.  The function is unchanged (ReLU is
+positively homogeneous), but the folded rows become genuine magnitude
+outliers that dominate the per-tensor INT8 quantization range — reproducing
+the weight statistics of real LLMs that the paper's ECC design relies on
+(fewer than 1 % of values carry the bulk of the accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.accuracy.tasks import SyntheticTask
+from repro.quant.schemes import dequantize_tensor, quantize_tensor
+
+
+@dataclass
+class QuantizedProxyWeights:
+    """INT8 weights of the proxy model plus their scales."""
+
+    w1_codes: np.ndarray
+    w1_scale: float
+    w2_codes: np.ndarray
+    w2_scale: float
+
+    def flat_codes(self) -> np.ndarray:
+        """All weight codes concatenated in storage order (for paging)."""
+        return np.concatenate([self.w1_codes.reshape(-1), self.w2_codes.reshape(-1)])
+
+    def from_flat(self, flat: np.ndarray) -> "QuantizedProxyWeights":
+        """Rebuild a weights object from a (possibly corrupted) flat code array."""
+        w1_size = self.w1_codes.size
+        w2_size = self.w2_codes.size
+        if flat.size < w1_size + w2_size:
+            raise ValueError("flat array too small for the stored weight shapes")
+        return QuantizedProxyWeights(
+            w1_codes=flat[:w1_size].reshape(self.w1_codes.shape).astype(np.int8),
+            w1_scale=self.w1_scale,
+            w2_codes=flat[w1_size:w1_size + w2_size]
+            .reshape(self.w2_codes.shape)
+            .astype(np.int8),
+            w2_scale=self.w2_scale,
+        )
+
+
+class ProxyLLM:
+    """Small numpy network standing in for the OPT-6.7B accuracy experiments.
+
+    Parameters
+    ----------
+    task:
+        Synthetic task to train and evaluate on.
+    hidden_dim:
+        Width of the feature layer; with the default 256 the weights span
+        two 16 K-element flash pages, enough for meaningful per-page ECC.
+    outlier_fraction / outlier_scale:
+        Fraction of W1 rows folded into outliers and the folding factor.
+    ridge:
+        Ridge-regression regulariser used to fit the readout.
+    seed:
+        Seed for the feature layer initialisation.
+    """
+
+    def __init__(
+        self,
+        task: SyntheticTask,
+        hidden_dim: int = 256,
+        outlier_fraction: float = 0.01,
+        outlier_scale: float = 48.0,
+        ridge: float = 1e-1,
+        seed: int = 7,
+    ) -> None:
+        if hidden_dim <= 0:
+            raise ValueError("hidden_dim must be positive")
+        if not 0.0 < outlier_fraction < 1.0:
+            raise ValueError("outlier_fraction must be in (0, 1)")
+        if outlier_scale <= 1.0:
+            raise ValueError("outlier_scale must exceed 1")
+        self.task = task
+        self.hidden_dim = hidden_dim
+        self.outlier_fraction = outlier_fraction
+        self.outlier_scale = outlier_scale
+        self.ridge = ridge
+        self.seed = seed
+        self._w1: Optional[np.ndarray] = None
+        self._w2: Optional[np.ndarray] = None
+
+    # -- training ------------------------------------------------------------
+    def fit(self) -> "ProxyLLM":
+        """Train the readout on random ReLU features and fold in outliers."""
+        rng = np.random.default_rng(self.seed)
+        x_train, y_train = self.task.train_data()
+        input_dim = x_train.shape[1]
+
+        w1 = rng.normal(scale=1.0 / np.sqrt(input_dim), size=(self.hidden_dim, input_dim))
+        hidden = np.maximum(x_train @ w1.T, 0.0)
+
+        targets = np.zeros((x_train.shape[0], self.task.num_classes), dtype=np.float64)
+        targets[np.arange(y_train.size), y_train] = 1.0
+        gram = hidden.T @ hidden + self.ridge * np.eye(self.hidden_dim)
+        w2 = np.linalg.solve(gram, hidden.T @ targets).T  # (classes, hidden)
+
+        self._w1, self._w2 = self._fold_outliers(w1, w2, rng)
+        return self
+
+    def _fold_outliers(
+        self, w1: np.ndarray, w2: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scale a few W1 rows up and the matching W2 columns down.
+
+        ReLU is positively homogeneous, so the network function is preserved
+        exactly while the scaled rows become genuine weight outliers.
+        """
+        num_outlier_rows = max(1, int(round(self.hidden_dim * self.outlier_fraction)))
+        rows = rng.choice(self.hidden_dim, size=num_outlier_rows, replace=False)
+        w1 = w1.copy()
+        w2 = w2.copy()
+        w1[rows, :] *= self.outlier_scale
+        w2[:, rows] /= self.outlier_scale
+        return w1, w2
+
+    # -- weights ----------------------------------------------------------------
+    @property
+    def float_weights(self) -> Tuple[np.ndarray, np.ndarray]:
+        self._require_fit()
+        return self._w1, self._w2
+
+    def quantize(self) -> QuantizedProxyWeights:
+        """Quantize both layers to INT8 with per-tensor scales."""
+        self._require_fit()
+        w1_codes, w1_scale = quantize_tensor(self._w1, bits=8)
+        w2_codes, w2_scale = quantize_tensor(self._w2, bits=8)
+        return QuantizedProxyWeights(
+            w1_codes=w1_codes, w1_scale=w1_scale, w2_codes=w2_codes, w2_scale=w2_scale
+        )
+
+    # -- evaluation -------------------------------------------------------------
+    def evaluate_float(self) -> float:
+        """Clean accuracy with the float weights."""
+        self._require_fit()
+        return self._accuracy(self._w1, self._w2)
+
+    def evaluate_quantized(self, weights: QuantizedProxyWeights) -> float:
+        """Accuracy with (possibly corrupted) INT8 weights."""
+        w1 = dequantize_tensor(weights.w1_codes, weights.w1_scale)
+        w2 = dequantize_tensor(weights.w2_codes, weights.w2_scale)
+        return self._accuracy(w1, w2)
+
+    def _accuracy(self, w1: np.ndarray, w2: np.ndarray) -> float:
+        x_test, y_test = self.task.test_data()
+        hidden = np.maximum(x_test @ w1.T, 0.0)
+        logits = hidden @ w2.T
+        predictions = np.argmax(logits, axis=1)
+        return float(np.mean(predictions == y_test))
+
+    def _require_fit(self) -> None:
+        if self._w1 is None or self._w2 is None:
+            raise RuntimeError("call fit() before using the model")

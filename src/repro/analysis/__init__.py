@@ -1,0 +1,35 @@
+"""Cross-cutting analyses: roofline and reduction-ratio comparisons (Fig. 1, 3a)."""
+
+from repro.analysis.roofline import (
+    HardwarePlatform,
+    RooflinePoint,
+    WorkloadPoint,
+    REFERENCE_WORKLOADS,
+    REFERENCE_PLATFORMS,
+    cambricon_llm_platform,
+    llm_decode_point,
+    llm_prefill_point,
+    roofline_performance,
+)
+from repro.analysis.reduction import (
+    ReductionRatioEntry,
+    REFERENCE_ISC_WORKLOADS,
+    llm_gemv_reduction_entry,
+    reduction_ratio_gap,
+)
+
+__all__ = [
+    "HardwarePlatform",
+    "WorkloadPoint",
+    "RooflinePoint",
+    "REFERENCE_WORKLOADS",
+    "REFERENCE_PLATFORMS",
+    "cambricon_llm_platform",
+    "llm_decode_point",
+    "llm_prefill_point",
+    "roofline_performance",
+    "ReductionRatioEntry",
+    "REFERENCE_ISC_WORKLOADS",
+    "llm_gemv_reduction_entry",
+    "reduction_ratio_gap",
+]

@@ -1,0 +1,52 @@
+"""Reduction-ratio comparison (Fig. 1b).
+
+The reduction ratio of an operator is the ratio of its input data size to its
+output data size.  Single-batch GeMV against a 4096x4096 weight matrix
+reduces the data by a factor of ~4096 — roughly two orders of magnitude more
+than the workloads earlier in-storage-computing systems were built for, which
+is why their channel-centric designs under-utilise the flash here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.llm.intensity import gemv_reduction_ratio
+from repro.llm.models import get_model
+
+
+@dataclass(frozen=True)
+class ReductionRatioEntry:
+    """A workload and its input/output reduction ratio."""
+
+    name: str
+    reduction_ratio: float
+    source_system: str
+
+
+#: Representative reduction ratios of prior ISC workloads (Fig. 1b).
+REFERENCE_ISC_WORKLOADS: Tuple[ReductionRatioEntry, ...] = (
+    ReductionRatioEntry("DNN training gradient update", 2.0, "OptimStore"),
+    ReductionRatioEntry("GNN neighbour aggregation", 8.0, "BeaconGNN"),
+    ReductionRatioEntry("Query search / filtering", 20.0, "DeepStore"),
+    ReductionRatioEntry("Recommendation embedding gather", 32.0, "RecSSD"),
+)
+
+
+def llm_gemv_reduction_entry(model: str = "llama2-7b") -> ReductionRatioEntry:
+    """Reduction ratio of the smallest weight GeMV of ``model`` (≈ hidden size)."""
+    spec = get_model(model)
+    ratio = gemv_reduction_ratio(spec.hidden_size, spec.hidden_size)
+    return ReductionRatioEntry(
+        name=f"LLM single-batch GeMV ({model})",
+        reduction_ratio=ratio,
+        source_system="Cambricon-LLM",
+    )
+
+
+def reduction_ratio_gap(model: str = "llama2-7b") -> float:
+    """How much larger the LLM GeMV reduction ratio is than prior ISC workloads."""
+    llm = llm_gemv_reduction_entry(model).reduction_ratio
+    reference = max(entry.reduction_ratio for entry in REFERENCE_ISC_WORKLOADS)
+    return llm / reference

@@ -1,0 +1,130 @@
+"""Roofline and arithmetic-intensity analysis (Fig. 1a and Fig. 3a).
+
+The motivating figures compare the arithmetic intensity of single-batch LLM
+decode against other AI workloads and against the compute/bandwidth ratio of
+real hardware, and show how moving weight access into the flash moves the
+operating point from bandwidth-starved (point A) towards the compute roof
+(point B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.config import CambriconLLMConfig
+from repro.flash.analytical import FlashSteadyStateModel
+from repro.llm.intensity import decode_arithmetic_intensity, prefill_arithmetic_intensity
+from repro.units import GB, TOPS
+
+
+@dataclass(frozen=True)
+class WorkloadPoint:
+    """A workload characterised by its arithmetic intensity (ops/byte)."""
+
+    name: str
+    arithmetic_intensity: float
+
+
+@dataclass(frozen=True)
+class HardwarePlatform:
+    """A hardware platform characterised by peak compute and memory bandwidth."""
+
+    name: str
+    peak_ops_per_second: float
+    memory_bandwidth: float
+
+    @property
+    def machine_balance(self) -> float:
+        """Ops/byte at which the platform turns compute-bound."""
+        return self.peak_ops_per_second / self.memory_bandwidth
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Attainable performance of a workload on a platform."""
+
+    workload: WorkloadPoint
+    platform: HardwarePlatform
+    attainable_ops_per_second: float
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.workload.arithmetic_intensity >= self.platform.machine_balance
+
+
+#: Reference AI workloads of Fig. 1a (approximate published ops/byte figures).
+REFERENCE_WORKLOADS: Tuple[WorkloadPoint, ...] = (
+    WorkloadPoint("VGG-16", 430.0),
+    WorkloadPoint("BERT", 230.0),
+    WorkloadPoint("DLRM", 60.0),
+)
+
+#: Reference hardware of Fig. 1a.
+REFERENCE_PLATFORMS: Tuple[HardwarePlatform, ...] = (
+    HardwarePlatform("Apple A16 NPU", 17 * TOPS, 51 * GB),
+    HardwarePlatform("NVIDIA A100", 624 * TOPS, 2039 * GB),
+    HardwarePlatform("NVIDIA Jetson Orin", 275 * TOPS, 205 * GB),
+    HardwarePlatform("Smartphone NPU", 2 * TOPS, 51 * GB),
+)
+
+
+def llm_decode_point(model: str = "llama2-7b", weight_bits: int = 8) -> WorkloadPoint:
+    """The decode-phase operating point (≈ 2 ops/byte under INT8)."""
+    return WorkloadPoint(
+        name=f"LLM decode ({model})",
+        arithmetic_intensity=decode_arithmetic_intensity(model, weight_bits=weight_bits),
+    )
+
+
+def llm_prefill_point(model: str = "llama2-7b", prompt_len: int = 512) -> WorkloadPoint:
+    """The prefill-phase operating point (orders of magnitude higher)."""
+    return WorkloadPoint(
+        name=f"LLM prefill ({model})",
+        arithmetic_intensity=prefill_arithmetic_intensity(model, prompt_len=prompt_len),
+    )
+
+
+def cambricon_llm_platform(config: CambriconLLMConfig) -> HardwarePlatform:
+    """Roofline description of a Cambricon-LLM configuration.
+
+    The effective "memory bandwidth" for weight access is the sum of the
+    in-flash processing rate and the channel streaming rate — the quantity the
+    hardware-tiling strategy maximises (the move from point A to point B in
+    Fig. 3a).
+    """
+    flash_model = FlashSteadyStateModel(
+        geometry=config.flash,
+        timing=config.timing,
+        core=config.compute_core,
+        slice_control=config.slice_control,
+        weight_bits=config.weight_bits,
+        activation_bits=config.activation_bits,
+    )
+    from repro.core.tiling import TilingStrategy
+
+    tile = TilingStrategy(
+        geometry=config.flash,
+        weight_bits=config.weight_bits,
+        activation_bits=config.activation_bits,
+    ).optimal_tile()
+    rates = flash_model.rates(tile.height, tile.width)
+    return HardwarePlatform(
+        name=config.name,
+        peak_ops_per_second=config.npu.systolic.peak_ops_per_second
+        + 2.0 * rates.in_flash_rate * 8 / config.weight_bits,
+        memory_bandwidth=rates.combined_rate,
+    )
+
+
+def roofline_performance(
+    workload: WorkloadPoint, platform: HardwarePlatform
+) -> RooflinePoint:
+    """Attainable ops/s of ``workload`` on ``platform`` under the roofline model."""
+    attainable = min(
+        platform.peak_ops_per_second,
+        workload.arithmetic_intensity * platform.memory_bandwidth,
+    )
+    return RooflinePoint(
+        workload=workload, platform=platform, attainable_ops_per_second=attainable
+    )

@@ -1,0 +1,23 @@
+"""Baseline inference systems the paper compares against.
+
+* FlexGen offloading the weights to an NVMe SSD or to system DRAM behind an
+  A100 (Table III, Fig. 9a),
+* MLC-LLM running 4-bit models entirely from a smartphone's LPDDR DRAM
+  (Fig. 9b).
+
+Single-batch decode on all of these is bandwidth-bound, so each baseline is
+an analytical model parameterised by its interface bandwidths and weight
+traffic per token, matching the accounting the paper uses.
+"""
+
+from repro.baselines.common import OffloadingBaseline, BaselineResult
+from repro.baselines.flexgen import FlexGenDRAM, FlexGenSSD
+from repro.baselines.mlc_llm import MLCLLM
+
+__all__ = [
+    "OffloadingBaseline",
+    "BaselineResult",
+    "FlexGenSSD",
+    "FlexGenDRAM",
+    "MLCLLM",
+]

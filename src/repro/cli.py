@@ -1,0 +1,129 @@
+"""Command-line interface.
+
+Installed as ``python -m repro``; three subcommands cover the common
+workflows without writing any Python:
+
+* ``decode``  — decode-speed report for one model on one configuration,
+* ``compare`` — Cambricon-LLM-S/M/L versus the FlexGen / MLC-LLM baselines,
+* ``sweep``   — channel/chip scalability sweep for one model (Fig. 15 style).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.baselines import FlexGenDRAM, FlexGenSSD, MLCLLM
+from repro.core import InferenceEngine, get_config
+from repro.core.config import all_paper_configs
+from repro.llm.models import list_models
+from repro.reporting import print_table
+
+
+def _add_model_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "model",
+        choices=list_models(),
+        help="model to evaluate (paper zoo: OPT and Llama2 families)",
+    )
+
+
+def _decode_command(args: argparse.Namespace) -> int:
+    engine = InferenceEngine(get_config(args.config))
+    report = engine.decode_report(args.model, seq_len=args.seq_len)
+    print_table(
+        f"Decode report — {report.model_name} on {report.config_name}",
+        ["metric", "value"],
+        [
+            ["decode speed (token/s)", report.tokens_per_second],
+            ["latency per token (ms)", 1e3 * report.token_seconds],
+            ["flash share alpha", report.alpha],
+            ["tile", report.tile],
+            ["channel utilisation (%)", 100 * report.channel_utilization],
+            ["external traffic per token (GB)", report.traffic.external_bytes / 1e9],
+        ],
+    )
+    return 0
+
+
+def _compare_command(args: argparse.Namespace) -> int:
+    ssd, dram, mlc = FlexGenSSD(), FlexGenDRAM(), MLCLLM()
+    rows = []
+    for name, config in all_paper_configs().items():
+        speed = InferenceEngine(config).decode_speed(args.model, seq_len=args.seq_len)
+        rows.append([config.name, f"{speed:.2f}"])
+    rows.append(["FlexGen-SSD", f"{ssd.decode_speed(args.model):.2f}"])
+    rows.append(["FlexGen-DRAM", f"{dram.decode_speed(args.model):.2f}"])
+    mlc_result = mlc.decode_result(args.model)
+    rows.append(
+        ["MLC-LLM", "OOM" if mlc_result.out_of_memory else f"{mlc_result.tokens_per_second:.2f}"]
+    )
+    print_table(
+        f"Decode speed comparison — {args.model} (token/s)",
+        ["system", "token/s"],
+        rows,
+    )
+    return 0
+
+
+def _sweep_command(args: argparse.Namespace) -> int:
+    base = get_config(args.config)
+    rows = []
+    for chips in args.chips:
+        config = base.with_flash_scale(chips_per_channel=chips)
+        report = InferenceEngine(config).decode_report(args.model, seq_len=args.seq_len)
+        rows.append(
+            [
+                config.flash.channels,
+                chips,
+                report.tokens_per_second,
+                100 * report.channel_utilization,
+            ]
+        )
+    print_table(
+        f"Chip-count sweep — {args.model} on {base.name}",
+        ["channels", "chips/channel", "token/s", "channel usage (%)"],
+        rows,
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cambricon-LLM reproduction: decode-speed and scalability models",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    decode = subparsers.add_parser("decode", help="decode-speed report for one model")
+    _add_model_argument(decode)
+    decode.add_argument("--config", default="L", help="S, M or L (default L)")
+    decode.add_argument("--seq-len", type=int, default=1000, help="cached context length")
+    decode.set_defaults(handler=_decode_command)
+
+    compare = subparsers.add_parser("compare", help="compare against the paper's baselines")
+    _add_model_argument(compare)
+    compare.add_argument("--seq-len", type=int, default=1000)
+    compare.set_defaults(handler=_compare_command)
+
+    sweep = subparsers.add_parser("sweep", help="chips-per-channel scalability sweep")
+    _add_model_argument(sweep)
+    sweep.add_argument("--config", default="S")
+    sweep.add_argument("--seq-len", type=int, default=1000)
+    sweep.add_argument(
+        "--chips", type=int, nargs="+", default=[1, 2, 4, 8, 16, 32],
+        help="chips-per-channel values to sweep",
+    )
+    sweep.set_defaults(handler=_sweep_command)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

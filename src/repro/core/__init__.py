@@ -1,0 +1,45 @@
+"""Cambricon-LLM core: the paper's primary contribution.
+
+This package ties the substrates together:
+
+* :mod:`repro.core.config` — the Cambricon-LLM-S/M/L hardware configurations
+  (Table II) and a general configuration object,
+* :mod:`repro.core.tiling` — the hardware-aware tile-shape optimisation of
+  Section V-A,
+* :mod:`repro.core.partition` — the flash/NPU workload split α of
+  Section V-B,
+* :mod:`repro.core.scheduler` — expansion of a layer's GeMVs into flash
+  request streams,
+* :mod:`repro.core.engine` — the end-to-end decode performance model
+  producing tokens/s, channel utilisation, traffic and energy inputs.
+"""
+
+from repro.core.config import (
+    CambriconLLMConfig,
+    cambricon_llm_l,
+    cambricon_llm_m,
+    cambricon_llm_s,
+    get_config,
+)
+from repro.core.tiling import TileShape, TilingStrategy
+from repro.core.partition import WorkloadPartition
+from repro.core.scheduler import GeMVSchedule, LayerSchedule, build_layer_schedule
+from repro.core.metrics import DecodeReport, LayerTiming
+from repro.core.engine import InferenceEngine
+
+__all__ = [
+    "CambriconLLMConfig",
+    "cambricon_llm_s",
+    "cambricon_llm_m",
+    "cambricon_llm_l",
+    "get_config",
+    "TileShape",
+    "TilingStrategy",
+    "WorkloadPartition",
+    "GeMVSchedule",
+    "LayerSchedule",
+    "build_layer_schedule",
+    "DecodeReport",
+    "LayerTiming",
+    "InferenceEngine",
+]

@@ -1,0 +1,135 @@
+"""Hardware configurations of Cambricon-LLM (Table II).
+
+Three named configurations differ only in flash parallelism:
+
+=============  ========  ===============
+Configuration  Channels  Chips / channel
+=============  ========  ===============
+Cam-LLM-S      8         2
+Cam-LLM-M      16        4
+Cam-LLM-L      32        8
+=============  ========  ===============
+
+All share 2 dies per chip, 2 planes and 1 Compute Core per die, a 1000 MT/s
+8-bit channel bus, 16 KB pages, tR = 30 us, INT8 quantization, and the same
+NPU (2 TOPS systolic array + ~40 GB/s LPDDR5X for the KV cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.flash.compute_core import ComputeCoreSpec
+from repro.flash.geometry import FlashGeometry
+from repro.flash.slicing import SliceControl, SlicePolicy
+from repro.flash.timing import FlashTiming
+from repro.npu.npu import NPUSpec
+
+
+@dataclass(frozen=True)
+class CambriconLLMConfig:
+    """Complete description of one Cambricon-LLM hardware instance."""
+
+    name: str
+    flash: FlashGeometry
+    timing: FlashTiming = field(default_factory=FlashTiming)
+    compute_core: ComputeCoreSpec = field(default_factory=ComputeCoreSpec)
+    slice_control: SliceControl = field(default_factory=SliceControl)
+    npu: NPUSpec = field(default_factory=NPUSpec)
+    #: Weight/activation precision of the paper's default W8A8 configuration.
+    weight_bits: int = 8
+    activation_bits: int = 8
+    #: KV-cache precision; stored INT8 like all other activations under W8A8.
+    kv_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.weight_bits <= 0 or self.activation_bits <= 0 or self.kv_bits <= 0:
+            raise ValueError("bit widths must be positive")
+
+    # -- convenience views ---------------------------------------------------
+    @property
+    def channels(self) -> int:
+        return self.flash.channels
+
+    @property
+    def compute_cores_per_channel(self) -> int:
+        return self.flash.compute_cores_per_channel
+
+    @property
+    def page_bytes(self) -> int:
+        return self.flash.page_bytes
+
+    def with_quantization(self, weight_bits: int, activation_bits: int) -> "CambriconLLMConfig":
+        """Return a copy under a different quantization (e.g. W4A16, Fig. 11)."""
+        return replace(
+            self, weight_bits=weight_bits, activation_bits=activation_bits
+        )
+
+    def with_slice_policy(self, policy: SlicePolicy) -> "CambriconLLMConfig":
+        """Return a copy using a different Slice Control policy (Fig. 12)."""
+        return replace(
+            self,
+            slice_control=SliceControl(
+                policy=policy, slice_bytes=self.slice_control.slice_bytes
+            ),
+        )
+
+    def with_flash_scale(
+        self, channels: int = None, chips_per_channel: int = None
+    ) -> "CambriconLLMConfig":
+        """Return a copy with a scaled flash array (Fig. 15 sweeps)."""
+        return replace(
+            self, flash=self.flash.scaled(channels=channels, chips_per_channel=chips_per_channel)
+        )
+
+
+def _table2_geometry(channels: int, chips_per_channel: int) -> FlashGeometry:
+    return FlashGeometry(
+        channels=channels,
+        chips_per_channel=chips_per_channel,
+        dies_per_chip=2,
+        planes_per_die=2,
+        compute_cores_per_die=1,
+        page_bytes=16 * 1024,
+    )
+
+
+def cambricon_llm_s() -> CambriconLLMConfig:
+    """Cambricon-LLM-S: 8 channels x 2 chips (Table II)."""
+    return CambriconLLMConfig(name="Cambricon-LLM-S", flash=_table2_geometry(8, 2))
+
+
+def cambricon_llm_m() -> CambriconLLMConfig:
+    """Cambricon-LLM-M: 16 channels x 4 chips (Table II)."""
+    return CambriconLLMConfig(name="Cambricon-LLM-M", flash=_table2_geometry(16, 4))
+
+
+def cambricon_llm_l() -> CambriconLLMConfig:
+    """Cambricon-LLM-L: 32 channels x 8 chips (Table II)."""
+    return CambriconLLMConfig(name="Cambricon-LLM-L", flash=_table2_geometry(32, 8))
+
+
+_CONFIG_FACTORIES = {
+    "s": cambricon_llm_s,
+    "m": cambricon_llm_m,
+    "l": cambricon_llm_l,
+    "cambricon-llm-s": cambricon_llm_s,
+    "cambricon-llm-m": cambricon_llm_m,
+    "cambricon-llm-l": cambricon_llm_l,
+}
+
+
+def get_config(name: str) -> CambriconLLMConfig:
+    """Look up a Table-II configuration by name ('S', 'M', 'L' or full name)."""
+    key = name.lower()
+    if key not in _CONFIG_FACTORIES:
+        raise KeyError(
+            f"unknown configuration {name!r}; expected one of S, M, L"
+        )
+    return _CONFIG_FACTORIES[key]()
+
+
+def all_paper_configs() -> Dict[str, CambriconLLMConfig]:
+    """The three Table-II configurations keyed by short name."""
+    return {"S": cambricon_llm_s(), "M": cambricon_llm_m(), "L": cambricon_llm_l()}

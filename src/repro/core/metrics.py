@@ -1,0 +1,77 @@
+"""Result dataclasses produced by the inference engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class LayerTiming:
+    """Latency breakdown of one decoder layer during a decode step (seconds)."""
+
+    weight_seconds: float
+    kv_seconds: float
+    sfu_seconds: float
+    sync_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.weight_seconds + self.kv_seconds + self.sfu_seconds + self.sync_seconds
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """Bytes moved per generated token, by path."""
+
+    flash_internal_bytes: float
+    d2d_stream_bytes: float
+    d2d_vector_bytes: float
+    dram_kv_bytes: float
+    dram_activation_bytes: float
+
+    @property
+    def external_bytes(self) -> float:
+        """Bytes crossing chip boundaries (the paper's "data transfer size")."""
+        return (
+            self.d2d_stream_bytes
+            + self.d2d_vector_bytes
+            + self.dram_kv_bytes
+            + self.dram_activation_bytes
+        )
+
+    @property
+    def total_bytes(self) -> float:
+        return self.external_bytes + self.flash_internal_bytes
+
+
+@dataclass(frozen=True)
+class DecodeReport:
+    """End-to-end decode performance report for one (model, config) pair."""
+
+    model_name: str
+    config_name: str
+    tokens_per_second: float
+    token_seconds: float
+    alpha: float
+    tile: str
+    channel_utilization: float
+    combined_weight_rate: float
+    flash_weight_rate: float
+    stream_weight_rate: float
+    traffic: TrafficBreakdown
+    layer_timing: LayerTiming
+    lm_head_seconds: float
+    num_layers: int
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    def summary_row(self) -> List[str]:
+        """A printable row used by the benchmark harness tables."""
+        return [
+            self.model_name,
+            self.config_name,
+            f"{self.tokens_per_second:.2f}",
+            f"{self.alpha:.2f}",
+            f"{100 * self.channel_utilization:.0f}%",
+            f"{self.traffic.external_bytes / 1e9:.2f} GB",
+        ]

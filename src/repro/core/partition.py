@@ -1,0 +1,91 @@
+"""Flash / NPU workload split (Section V-B).
+
+After the tile shape is fixed, the remaining knob is the fraction α of every
+weight matrix processed *in flash* via read-compute requests; the other
+``1 - α`` is streamed through the channels and multiplied on the NPU.  The
+optimum balances the two pipes so they finish together.
+
+The paper derives α from the per-request latencies ``t_rc`` and ``t_r``; this
+module implements both that formula and the equivalent rate-balanced form the
+engine uses (they coincide when a read-compute request and a read request are
+normalised to the same number of weight bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flash.analytical import FlashSteadyStateModel
+from repro.core.tiling import TileShape
+
+
+@dataclass(frozen=True)
+class WorkloadPartition:
+    """The flash/NPU split for a given hardware model and tile shape."""
+
+    flash_model: FlashSteadyStateModel
+    tile: TileShape
+    core_utilization: float = 1.0
+
+    # -- per-request latencies (the paper's t_rc and t_r) -------------------------
+    def read_compute_latency(self) -> float:
+        """t_rc: page read plus the tile's input transfer over one channel."""
+        timing = self.flash_model.timing
+        input_bytes = (
+            self.tile.width
+            / self.flash_model.geometry.channels
+            * self.flash_model.activation_bits
+            / 8
+        )
+        return timing.read_seconds + timing.transfer_seconds(input_bytes)
+
+    def read_latency(self) -> float:
+        """t_r: one page streamed through the channel bandwidth left over."""
+        timing = self.flash_model.timing
+        geometry = self.flash_model.geometry
+        fraction = self.flash_model.read_compute_channel_fraction(
+            self.tile.height, self.tile.width
+        )
+        leftover = max(1e-12, (1.0 - fraction) * timing.channel_bandwidth)
+        return geometry.page_bytes / leftover
+
+    def alpha_paper_formula(self) -> float:
+        """α as written in the paper: t_r / (t_r + t_rc).
+
+        Note the paper's closed form weighs one read-compute request (which
+        covers one page per Compute Core) against one read request (a single
+        page); the engine uses the rate-balanced :meth:`alpha` below, which
+        accounts for that asymmetry explicitly.
+        """
+        t_r = self.read_latency()
+        t_rc = self.read_compute_latency()
+        return t_r / (t_r + t_rc)
+
+    # -- rate-balanced split --------------------------------------------------------
+    def flash_rate(self) -> float:
+        """Bytes/s of weights the in-die Compute Cores can consume."""
+        return self.flash_model.in_flash_weight_rate(self.core_utilization)
+
+    def stream_rate(self) -> float:
+        """Bytes/s of weights that can be streamed to the NPU."""
+        return self.flash_model.read_stream_rate(self.tile.height, self.tile.width)
+
+    def alpha(self) -> float:
+        """Fraction of weight bytes processed in flash so both pipes finish together."""
+        flash = self.flash_rate()
+        stream = self.stream_rate()
+        total = flash + stream
+        if total <= 0:
+            raise RuntimeError("hardware model yields zero throughput")
+        return flash / total
+
+    def combined_rate(self) -> float:
+        """Total weight-consumption rate with the balanced split (bytes/s)."""
+        return self.flash_rate() + self.stream_rate()
+
+    def split_bytes(self, weight_bytes: float) -> tuple:
+        """Split a weight blob into (flash_bytes, streamed_bytes)."""
+        if weight_bytes < 0:
+            raise ValueError("weight_bytes must be non-negative")
+        alpha = self.alpha()
+        return alpha * weight_bytes, (1.0 - alpha) * weight_bytes

@@ -1,0 +1,160 @@
+"""Layer scheduler: from GeMV operators to flash request streams.
+
+Given a decoder layer's weight GeMVs, the tiling strategy and the workload
+split α, the scheduler determines how many read-compute tiles go to the flash
+and how many plain weight pages are streamed to the NPU, per channel.  The
+resulting :class:`repro.flash.simulator.ChannelWorkload` feeds the
+discrete-event simulator; the aggregate counts also drive the analytical
+engine's traffic accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import List
+
+from repro.core.config import CambriconLLMConfig
+from repro.core.partition import WorkloadPartition
+from repro.core.tiling import TileShape, TilingStrategy
+from repro.flash.analytical import FlashSteadyStateModel
+from repro.flash.simulator import ChannelWorkload
+from repro.llm.operators import GeMVOp
+from repro.llm.workload import DecodeWorkload
+
+
+@dataclass(frozen=True)
+class GeMVSchedule:
+    """Request counts for one weight GeMV under the hybrid mapping."""
+
+    name: str
+    rows: int
+    cols: int
+    weight_bytes: float
+    flash_bytes: float
+    streamed_bytes: float
+    rc_tiles: int
+    read_pages: int
+
+    @property
+    def alpha(self) -> float:
+        if self.weight_bytes == 0:
+            return 0.0
+        return self.flash_bytes / self.weight_bytes
+
+
+@dataclass(frozen=True)
+class LayerSchedule:
+    """All GeMV schedules of one decoder layer plus per-channel totals."""
+
+    gemvs: List[GeMVSchedule]
+    tile: TileShape
+    channels: int
+
+    @property
+    def total_rc_tiles(self) -> int:
+        return sum(g.rc_tiles for g in self.gemvs)
+
+    @property
+    def total_read_pages(self) -> int:
+        return sum(g.read_pages for g in self.gemvs)
+
+    @property
+    def total_weight_bytes(self) -> float:
+        return sum(g.weight_bytes for g in self.gemvs)
+
+    @property
+    def total_flash_bytes(self) -> float:
+        return sum(g.flash_bytes for g in self.gemvs)
+
+    @property
+    def total_streamed_bytes(self) -> float:
+        return sum(g.streamed_bytes for g in self.gemvs)
+
+    def read_pages_per_channel(self) -> int:
+        """Plain-read pages each channel must deliver (striped evenly)."""
+        return int(ceil(self.total_read_pages / self.channels))
+
+    def channel_workload(self, config: CambriconLLMConfig) -> ChannelWorkload:
+        """Build the per-channel workload window for the event simulator."""
+        act = config.activation_bits / 8
+        input_bytes = self.tile.width / self.channels * act
+        output_bytes_per_core = (
+            self.tile.height / config.compute_cores_per_channel * act
+        )
+        return ChannelWorkload(
+            rc_tiles=max(1, self.total_rc_tiles),
+            rc_input_bytes=input_bytes,
+            rc_output_bytes_per_core=output_bytes_per_core,
+            read_pages=self.read_pages_per_channel(),
+        )
+
+
+def schedule_gemv(
+    op: GeMVOp,
+    config: CambriconLLMConfig,
+    tiling: TilingStrategy,
+    partition: WorkloadPartition,
+    tile: TileShape,
+    offload_to_npu: bool = True,
+) -> GeMVSchedule:
+    """Schedule one weight GeMV across flash and NPU.
+
+    With ``offload_to_npu=False`` the whole matrix is processed in flash
+    (the "without hardware-aware tiling" ablation of Fig. 14).
+    """
+    weight_bytes = op.weight_bytes
+    if offload_to_npu:
+        flash_bytes, streamed_bytes = partition.split_bytes(weight_bytes)
+    else:
+        flash_bytes, streamed_bytes = weight_bytes, 0.0
+
+    tile_bytes = tiling.tile_elements * config.weight_bits / 8
+    rc_tiles = int(ceil(flash_bytes / tile_bytes)) if flash_bytes > 0 else 0
+    read_pages = (
+        int(ceil(streamed_bytes / config.page_bytes)) if streamed_bytes > 0 else 0
+    )
+    return GeMVSchedule(
+        name=op.name,
+        rows=op.rows,
+        cols=op.cols,
+        weight_bytes=weight_bytes,
+        flash_bytes=flash_bytes,
+        streamed_bytes=streamed_bytes,
+        rc_tiles=rc_tiles,
+        read_pages=read_pages,
+    )
+
+
+def build_layer_schedule(
+    workload: DecodeWorkload,
+    config: CambriconLLMConfig,
+    tile: TileShape = None,
+    offload_to_npu: bool = True,
+) -> LayerSchedule:
+    """Schedule all weight GeMVs of one decoder layer of ``workload``."""
+    tiling = TilingStrategy(
+        geometry=config.flash,
+        weight_bits=config.weight_bits,
+        activation_bits=config.activation_bits,
+    )
+    if tile is None:
+        tile = tiling.optimal_tile()
+    flash_model = FlashSteadyStateModel(
+        geometry=config.flash,
+        timing=config.timing,
+        core=config.compute_core,
+        slice_control=config.slice_control,
+        weight_bits=config.weight_bits,
+        activation_bits=config.activation_bits,
+    )
+    shapes = workload.per_layer_gemv_shapes()
+    efficiency = tiling.matrix_efficiency(shapes)
+    partition = WorkloadPartition(
+        flash_model=flash_model, tile=tile, core_utilization=efficiency
+    )
+    gemvs = [
+        schedule_gemv(op, config, tiling, partition, tile, offload_to_npu)
+        for op in workload.layers[0].gemv_ops
+    ]
+    return LayerSchedule(gemvs=gemvs, tile=tile, channels=config.channels)

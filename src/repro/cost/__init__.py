@@ -1,0 +1,15 @@
+"""Cost, storage-density and area/power models (Tables I, IV and V)."""
+
+from repro.cost.density import STORAGE_DENSITY_TABLE, StorageDensityEntry
+from repro.cost.area import ComputeCoreAreaModel, AreaPowerEntry
+from repro.cost.bom import BillOfMaterials, SystemCost, chiplet_packaging_bound
+
+__all__ = [
+    "StorageDensityEntry",
+    "STORAGE_DENSITY_TABLE",
+    "AreaPowerEntry",
+    "ComputeCoreAreaModel",
+    "BillOfMaterials",
+    "SystemCost",
+    "chiplet_packaging_bound",
+]

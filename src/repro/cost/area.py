@@ -1,0 +1,93 @@
+"""Area and power of the on-die Compute Core (Table IV).
+
+The paper synthesised the Compute Core in TSMC 65 nm; the table below seeds a
+small parametric model so the overhead ratios (1.2 % area, 4.5 % power of the
+die) can be recomputed for other buffer sizes or MAC counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class AreaPowerEntry:
+    """Area (um^2) and power (uW) of one Compute Core component."""
+
+    name: str
+    area_um2: float
+    power_uw: float
+
+
+#: The paper's synthesis results (Table IV).
+PAPER_TABLE_IV: Tuple[AreaPowerEntry, ...] = (
+    AreaPowerEntry("Error Correction Unit", 496.4, 0.4),
+    AreaPowerEntry("PEs", 562.0, 343.6),
+    AreaPowerEntry("Input Buffer and Output Buffer", 58755.1, 1591.7),
+)
+
+#: Die-level reference values implied by the paper's 1.2 % / 4.5 % overheads.
+_PAPER_TOTAL_AREA_UM2 = 39813.5
+_PAPER_TOTAL_POWER_UW = 1935.6
+_PAPER_AREA_OVERHEAD = 0.012
+_PAPER_POWER_OVERHEAD = 0.045
+
+
+@dataclass(frozen=True)
+class ComputeCoreAreaModel:
+    """Parametric area/power model of the Compute Core.
+
+    Scaling is linear in MAC count for the PE array and linear in buffer
+    bytes for the SRAM — adequate for the small design-space exploration the
+    tests and the ablation benches perform.
+    """
+
+    macs: int = 2
+    buffer_bytes: int = 2048
+    ecu_entries: int = 163
+    reference_macs: int = 2
+    reference_buffer_bytes: int = 2048
+    reference_ecu_entries: int = 163
+
+    def components(self) -> Dict[str, AreaPowerEntry]:
+        """Component-level estimates scaled from the paper's synthesis."""
+        ecu, pes, buffers = PAPER_TABLE_IV
+        mac_scale = self.macs / self.reference_macs
+        buffer_scale = self.buffer_bytes / self.reference_buffer_bytes
+        ecu_scale = self.ecu_entries / self.reference_ecu_entries
+        return {
+            "ecu": AreaPowerEntry("Error Correction Unit", ecu.area_um2 * ecu_scale, ecu.power_uw * ecu_scale),
+            "pes": AreaPowerEntry("PEs", pes.area_um2 * mac_scale, pes.power_uw * mac_scale),
+            "buffers": AreaPowerEntry(
+                "Input Buffer and Output Buffer",
+                buffers.area_um2 * buffer_scale,
+                buffers.power_uw * buffer_scale,
+            ),
+        }
+
+    def total_area_um2(self) -> float:
+        return sum(entry.area_um2 for entry in self.components().values())
+
+    def total_power_uw(self) -> float:
+        return sum(entry.power_uw for entry in self.components().values())
+
+    def die_area_overhead(self) -> float:
+        """Compute Core area as a fraction of the flash die area."""
+        die_area = _PAPER_TOTAL_AREA_UM2 / _PAPER_AREA_OVERHEAD
+        return self.total_area_um2() / die_area
+
+    def die_power_overhead(self) -> float:
+        """Compute Core power as a fraction of the flash die power."""
+        die_power = _PAPER_TOTAL_POWER_UW / _PAPER_POWER_OVERHEAD
+        return self.total_power_uw() / die_power
+
+    @staticmethod
+    def paper_reference() -> Dict[str, float]:
+        """The headline numbers of Table IV for direct comparison."""
+        return {
+            "total_area_um2": _PAPER_TOTAL_AREA_UM2,
+            "total_power_uw": _PAPER_TOTAL_POWER_UW,
+            "area_overhead": _PAPER_AREA_OVERHEAD,
+            "power_overhead": _PAPER_POWER_OVERHEAD,
+        }

@@ -1,0 +1,89 @@
+"""Bill-of-materials cost model (Table V).
+
+To hold a 70B model at INT8 plus its KV cache, a conventional design needs
+~80 GB of DRAM; Cambricon-LLM needs only 2 GB of DRAM (KV cache) plus 80 GB
+of much cheaper NAND flash.  The per-GB prices below are the ones implied by
+the paper's Table V totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: Per-GB prices implied by Table V ($194.68 for 80 GB DRAM, $38.80 for 80 GB flash).
+DRAM_DOLLARS_PER_GB = 194.68 / 80
+FLASH_DOLLARS_PER_GB = 38.80 / 80
+
+
+@dataclass(frozen=True)
+class SystemCost:
+    """Memory bill of materials of one architecture."""
+
+    name: str
+    dram_gb: float
+    flash_gb: float
+    dram_dollars_per_gb: float = DRAM_DOLLARS_PER_GB
+    flash_dollars_per_gb: float = FLASH_DOLLARS_PER_GB
+
+    def __post_init__(self) -> None:
+        if self.dram_gb < 0 or self.flash_gb < 0:
+            raise ValueError("capacities must be non-negative")
+
+    @property
+    def dram_cost(self) -> float:
+        return self.dram_gb * self.dram_dollars_per_gb
+
+    @property
+    def flash_cost(self) -> float:
+        return self.flash_gb * self.flash_dollars_per_gb
+
+    @property
+    def total_cost(self) -> float:
+        return self.dram_cost + self.flash_cost
+
+
+@dataclass(frozen=True)
+class BillOfMaterials:
+    """Table-V comparison for a given model footprint.
+
+    Parameters
+    ----------
+    weight_gb:
+        Model weight footprint in GB (80 GB covers Llama2-70B at INT8 with
+        headroom).
+    kv_cache_gb:
+        DRAM needed for the KV cache and activations (2 GB in the paper).
+    """
+
+    weight_gb: float = 80.0
+    kv_cache_gb: float = 2.0
+
+    def cambricon_llm(self) -> SystemCost:
+        """Weights in flash, only the KV cache in DRAM."""
+        return SystemCost(
+            name="Cambricon-LLM", dram_gb=self.kv_cache_gb, flash_gb=self.weight_gb
+        )
+
+    def traditional(self) -> SystemCost:
+        """Everything in DRAM (the conventional mobile-SoC approach)."""
+        return SystemCost(
+            name="Traditional", dram_gb=self.weight_gb, flash_gb=0.0
+        )
+
+    def savings(self) -> float:
+        """Dollar savings of Cambricon-LLM over the traditional design."""
+        return self.traditional().total_cost - self.cambricon_llm().total_cost
+
+
+def chiplet_packaging_bound(raw_chip_cost: float, fraction: float = 0.15) -> float:
+    """Upper bound on the D2D-interface + packaging cost added by chiplets.
+
+    The paper cites chiplet cost models putting this below 15 % of the raw
+    chip cost (≤ $100 for Cambricon-LLM).
+    """
+    if raw_chip_cost < 0:
+        raise ValueError("raw_chip_cost must be non-negative")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    return raw_chip_cost * fraction

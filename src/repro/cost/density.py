@@ -1,0 +1,44 @@
+"""Storage density of DRAM versus NAND flash (Table I).
+
+The two-orders-of-magnitude density gap is the paper's core argument for
+keeping LLM weights in flash: a 200 GB NAND die stack occupies roughly the
+footprint of a smartphone SoC, which a DRAM-only design could never match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class StorageDensityEntry:
+    """One row of Table I."""
+
+    manufacturer: str
+    memory_type: str
+    layers: int
+    density_gbit_per_mm2: float
+
+    def area_mm2_for_bytes(self, num_bytes: float) -> float:
+        """Silicon area needed to store ``num_bytes`` at this density."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        gbits = num_bytes * 8 / 1e9
+        return gbits / self.density_gbit_per_mm2
+
+
+#: Table I of the paper.
+STORAGE_DENSITY_TABLE: Tuple[StorageDensityEntry, ...] = (
+    StorageDensityEntry("SK hynix", "Flash", 300, 20.00),
+    StorageDensityEntry("Samsung", "Flash", 280, 28.50),
+    StorageDensityEntry("SK hynix", "DDR", 1, 0.30),
+    StorageDensityEntry("SK hynix", "LPDDR", 1, 0.31),
+)
+
+
+def density_advantage() -> float:
+    """Best flash density over best DRAM density (≈ 2 orders of magnitude)."""
+    flash = max(e.density_gbit_per_mm2 for e in STORAGE_DENSITY_TABLE if e.memory_type == "Flash")
+    dram = max(e.density_gbit_per_mm2 for e in STORAGE_DENSITY_TABLE if e.memory_type != "Flash")
+    return flash / dram

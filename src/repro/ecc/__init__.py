@@ -1,0 +1,33 @@
+"""On-die error correction substrate (Section VI).
+
+Flash retention errors flip bits at rates up to 1e-2 over a device's life;
+conventional LDPC engines are too large to fit on the die next to the Compute
+Core, so the paper protects only what matters for LLM accuracy:
+
+* the top ~1 % largest-magnitude weights of every page (stored with N extra
+  copies and recovered by bit-wise majority vote), and
+* a threshold that catches normal values a bit flip turned into fake outliers
+  (they are clamped to zero).
+
+This package contains the bit-flip error model, the Hamming-protected address
+encoding, the page ECC codec and its analytical protection-rate model.
+"""
+
+from repro.ecc.errors import BitFlipErrorModel
+from repro.ecc.hamming import hamming_decode, hamming_encode, hamming_parity_bits
+from repro.ecc.codec import OutlierECC, PageCodec, ProtectedEntry
+from repro.ecc.page_layout import PageLayout
+from repro.ecc.analysis import protected_flip_rate, protection_gain
+
+__all__ = [
+    "BitFlipErrorModel",
+    "hamming_encode",
+    "hamming_decode",
+    "hamming_parity_bits",
+    "OutlierECC",
+    "PageCodec",
+    "ProtectedEntry",
+    "PageLayout",
+    "protected_flip_rate",
+    "protection_gain",
+]

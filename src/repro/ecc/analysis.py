@@ -1,0 +1,71 @@
+"""Analytical protection model of the outlier ECC.
+
+Section VI derives the residual flip probability of a protected value stored
+as ``N`` extra copies (plus the original): the bit-wise majority vote only
+fails when more than ``N/2 + 1`` of the ``N + 1`` instances flip the same bit,
+so
+
+    f_prot = sum_{i=N/2+1}^{N+1} C(N+1, i) x^i (1-x)^(N+1-i)
+           ≈ C(N+1, N/2+1) x^(N/2+1)
+
+For ``N = 2`` and a raw rate of 1e-4 that is ``3e-8`` — a 2.3x-plus gain in
+usable error-rate range in the paper's accuracy experiments.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+
+def protected_flip_rate(raw_rate: float, copies: int = 2, exact: bool = True) -> float:
+    """Residual per-bit flip rate of a value protected by ``copies`` extra copies.
+
+    Parameters
+    ----------
+    raw_rate:
+        Raw per-bit flip probability ``x`` of the flash array.
+    copies:
+        Number of extra copies ``N`` stored in the ECC (must be even; the vote
+        is between ``N + 1`` instances).
+    exact:
+        Use the exact binomial tail; ``False`` returns the paper's leading-term
+        approximation.
+    """
+    if not 0.0 <= raw_rate <= 1.0:
+        raise ValueError("raw_rate must be in [0, 1]")
+    if copies < 2 or copies % 2 != 0:
+        raise ValueError("copies must be a positive even number")
+    instances = copies + 1
+    needed = copies // 2 + 1
+    if not exact:
+        return comb(instances, needed) * raw_rate**needed
+    total = 0.0
+    for flipped in range(needed, instances + 1):
+        total += (
+            comb(instances, flipped)
+            * raw_rate**flipped
+            * (1.0 - raw_rate) ** (instances - flipped)
+        )
+    return total
+
+
+def protection_gain(raw_rate: float, copies: int = 2) -> float:
+    """Ratio raw_rate / protected_rate — the error-rate headroom the ECC buys."""
+    protected = protected_flip_rate(raw_rate, copies)
+    if protected == 0.0:
+        return float("inf")
+    return raw_rate / protected
+
+
+def tolerable_raw_rate(target_protected_rate: float, copies: int = 2) -> float:
+    """Largest raw bit-error rate whose protected rate stays below a target.
+
+    Solved from the leading-term approximation; useful for sizing ``N``.
+    """
+    if not 0.0 < target_protected_rate < 1.0:
+        raise ValueError("target_protected_rate must be in (0, 1)")
+    if copies < 2 or copies % 2 != 0:
+        raise ValueError("copies must be a positive even number")
+    needed = copies // 2 + 1
+    coefficient = comb(copies + 1, needed)
+    return (target_protected_rate / coefficient) ** (1.0 / needed)

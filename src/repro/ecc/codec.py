@@ -1,0 +1,204 @@
+"""Outlier-oriented page ECC codec (Section VI).
+
+For every flash page the encoder stores, in the page's spare area:
+
+* nine copies of the *threshold* (the smallest protected magnitude),
+* for each protected outlier: its 14-bit in-page address protected by a 5-bit
+  Hamming code, plus two copies of its 8-bit value.
+
+The decoder recovers outliers by bit-wise majority vote between the stored
+copies and the (possibly corrupted) in-page value, and clamps any unprotected
+value whose magnitude exceeds the threshold to zero — such values can only be
+fake outliers created by bit flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ecc.errors import BitFlipErrorModel
+from repro.ecc.hamming import hamming_decode, hamming_encode, hamming_parity_bits
+from repro.quant.outliers import find_outliers
+
+
+@dataclass(frozen=True)
+class ProtectedEntry:
+    """One protected outlier as stored in the ECC region."""
+
+    address: int
+    copy1: int
+    copy2: int
+
+
+@dataclass
+class OutlierECC:
+    """Encoded ECC block of one page."""
+
+    threshold_copies: np.ndarray        # uint8[threshold_copies]
+    address_codewords: np.ndarray       # uint32[count], 19-bit Hamming codewords
+    value_copies: np.ndarray            # uint8[2, count] raw copies of the values
+    page_elements: int
+    address_bits: int = 14
+
+    @property
+    def count(self) -> int:
+        return int(self.address_codewords.size)
+
+    def entries(self) -> list:
+        """Decode the stored entries (without any error correction applied)."""
+        result = []
+        for index in range(self.count):
+            address, _, _ = hamming_decode(
+                int(self.address_codewords[index]), self.address_bits
+            )
+            result.append(
+                ProtectedEntry(
+                    address=address,
+                    copy1=int(np.int8(self.value_copies[0, index])),
+                    copy2=int(np.int8(self.value_copies[1, index])),
+                )
+            )
+        return result
+
+    def storage_bits(self) -> int:
+        """Bit-exact ECC footprint (the paper's 722 B for a 16 KB page)."""
+        parity = hamming_parity_bits(self.address_bits)
+        per_entry = self.address_bits + parity + 2 * 8
+        return 8 * self.threshold_copies.size + per_entry * self.count
+
+    def storage_bytes(self) -> float:
+        return self.storage_bits() / 8
+
+
+class PageCodec:
+    """Encoder/decoder/corruptor for the outlier ECC of one page.
+
+    Parameters
+    ----------
+    page_elements:
+        INT8 weights per page (16384 for a 16 KB page).
+    protect_fraction:
+        Fraction of values protected (the paper protects the top 1 %).
+    threshold_copies:
+        Copies of the threshold value (9 in the paper's layout).
+    address_bits:
+        Address width; 14 bits cover a 16 K-element page.
+    """
+
+    def __init__(
+        self,
+        page_elements: int = 16384,
+        protect_fraction: float = 0.01,
+        threshold_copies: int = 9,
+        address_bits: int = 14,
+    ) -> None:
+        if page_elements <= 0:
+            raise ValueError("page_elements must be positive")
+        if page_elements > (1 << address_bits):
+            raise ValueError(
+                f"{address_bits}-bit addresses cannot index {page_elements} elements"
+            )
+        if threshold_copies < 1 or threshold_copies % 2 == 0:
+            raise ValueError("threshold_copies must be a positive odd number")
+        self.page_elements = page_elements
+        self.protect_fraction = protect_fraction
+        self.threshold_copies = threshold_copies
+        self.address_bits = address_bits
+
+    # -- encode ---------------------------------------------------------------
+    def encode(self, page: np.ndarray) -> OutlierECC:
+        """Build the ECC block for an INT8 page."""
+        codes = self._check_page(page)
+        stats = find_outliers(codes, self.protect_fraction)
+        threshold = np.full(
+            self.threshold_copies, np.uint8(stats.threshold), dtype=np.uint8
+        )
+        codewords = np.array(
+            [hamming_encode(int(addr), self.address_bits) for addr in stats.indices],
+            dtype=np.uint32,
+        )
+        copies = np.vstack(
+            [stats.values.view(np.uint8), stats.values.view(np.uint8)]
+        ).astype(np.uint8)
+        return OutlierECC(
+            threshold_copies=threshold,
+            address_codewords=codewords,
+            value_copies=copies,
+            page_elements=self.page_elements,
+            address_bits=self.address_bits,
+        )
+
+    # -- corrupt ---------------------------------------------------------------
+    def corrupt_ecc(self, ecc: OutlierECC, error_model: BitFlipErrorModel) -> OutlierECC:
+        """Apply flash bit flips to the stored ECC block itself.
+
+        The spare area lives in the same NAND cells as the data, so a faithful
+        study must expose the ECC block to the same raw error rate.
+        """
+        threshold = error_model.inject_bytes(ecc.threshold_copies)
+        copies = error_model.inject_bytes(ecc.value_copies)
+        codeword_bits = ecc.address_bits + hamming_parity_bits(ecc.address_bits)
+        codewords = ecc.address_codewords.copy()
+        rng = np.random.default_rng(error_model.seed)
+        flips = rng.binomial(codeword_bits, error_model.flip_rate, size=codewords.size)
+        for index in np.nonzero(flips)[0]:
+            positions = rng.choice(codeword_bits, size=flips[index], replace=False)
+            for position in positions:
+                codewords[index] ^= np.uint32(1 << int(position))
+        return OutlierECC(
+            threshold_copies=threshold,
+            address_codewords=codewords,
+            value_copies=copies,
+            page_elements=ecc.page_elements,
+            address_bits=ecc.address_bits,
+        )
+
+    # -- decode ----------------------------------------------------------------
+    def correct(self, corrupted_page: np.ndarray, ecc: OutlierECC) -> np.ndarray:
+        """Recover a corrupted page using the ECC block (the on-die ECU logic)."""
+        codes = self._check_page(corrupted_page).copy()
+        unsigned = codes.view(np.uint8)
+
+        threshold = self._vote_threshold(ecc.threshold_copies)
+        protected = np.zeros(self.page_elements, dtype=bool)
+
+        for index in range(ecc.count):
+            address, _, ok = hamming_decode(
+                int(ecc.address_codewords[index]), ecc.address_bits
+            )
+            if not ok or address >= self.page_elements:
+                # Uncorrectable address: the entry is dropped and its value is
+                # treated as unprotected, as described in the paper.
+                continue
+            protected[address] = True
+            stored = unsigned[address]
+            copy1 = ecc.value_copies[0, index]
+            copy2 = ecc.value_copies[1, index]
+            unsigned[address] = (stored & copy1) | (stored & copy2) | (copy1 & copy2)
+
+        # Unprotected values above the threshold can only be fake outliers.
+        magnitudes = np.abs(codes.astype(np.int16))
+        fake = (~protected) & (magnitudes > threshold)
+        codes[fake] = 0
+        return codes
+
+    # -- helpers -----------------------------------------------------------------
+    def _check_page(self, page: np.ndarray) -> np.ndarray:
+        codes = np.asarray(page)
+        if codes.dtype != np.int8:
+            raise TypeError("pages must be int8 arrays")
+        if codes.size != self.page_elements:
+            raise ValueError(
+                f"page has {codes.size} elements, expected {self.page_elements}"
+            )
+        return codes.reshape(-1)
+
+    @staticmethod
+    def _vote_threshold(copies: np.ndarray) -> int:
+        """Bit-wise majority vote across the stored threshold copies."""
+        votes = np.unpackbits(copies.reshape(-1, 1), axis=1)
+        majority = (votes.sum(axis=0) * 2 > copies.size).astype(np.uint8)
+        return int(np.packbits(majority)[0])

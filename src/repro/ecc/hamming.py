@@ -1,0 +1,103 @@
+"""Hamming single-error-correcting code for protected-value addresses.
+
+Each protected outlier's 14-bit in-page address is stored together with a
+5-bit Hamming parity (Section VI: "each address is accompanied by a 5-bit
+private error-correcting code").  A single bit flip anywhere in the 19-bit
+codeword is corrected on-die; wider corruption makes the decoder report
+failure and the entry is treated as unprotected — exactly the paper's
+fallback behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def hamming_parity_bits(data_bits: int) -> int:
+    """Minimum parity bits ``r`` with ``2**r >= data_bits + r + 1``."""
+    if data_bits <= 0:
+        raise ValueError("data_bits must be positive")
+    r = 1
+    while (1 << r) < data_bits + r + 1:
+        r += 1
+    return r
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value & (value - 1) == 0
+
+
+def hamming_encode(value: int, data_bits: int = 14) -> int:
+    """Encode ``value`` into a Hamming codeword (data + parity interleaved).
+
+    Bit positions are 1-based as in the classic construction: powers of two
+    hold parity, the rest hold data bits in order.
+    """
+    if value < 0 or value >= (1 << data_bits):
+        raise ValueError(f"value {value} does not fit in {data_bits} bits")
+    parity_bits = hamming_parity_bits(data_bits)
+    total_bits = data_bits + parity_bits
+
+    # Place data bits.
+    codeword = 0
+    data_index = 0
+    for position in range(1, total_bits + 1):
+        if _is_power_of_two(position):
+            continue
+        if (value >> data_index) & 1:
+            codeword |= 1 << (position - 1)
+        data_index += 1
+
+    # Compute parity bits.
+    for p in range(parity_bits):
+        parity_position = 1 << p
+        parity = 0
+        for position in range(1, total_bits + 1):
+            if position & parity_position and (codeword >> (position - 1)) & 1:
+                parity ^= 1
+        if parity:
+            codeword |= 1 << (parity_position - 1)
+    return codeword
+
+
+def hamming_decode(codeword: int, data_bits: int = 14) -> Tuple[int, bool, bool]:
+    """Decode a Hamming codeword.
+
+    Returns ``(value, corrected, ok)``: ``corrected`` is True when a single
+    bit error was fixed; ``ok`` is False when the syndrome points outside the
+    codeword (uncorrectable corruption), in which case ``value`` must not be
+    trusted.
+    """
+    parity_bits = hamming_parity_bits(data_bits)
+    total_bits = data_bits + parity_bits
+    if codeword < 0 or codeword >= (1 << total_bits):
+        raise ValueError("codeword out of range")
+
+    syndrome = 0
+    for p in range(parity_bits):
+        parity_position = 1 << p
+        parity = 0
+        for position in range(1, total_bits + 1):
+            if position & parity_position and (codeword >> (position - 1)) & 1:
+                parity ^= 1
+        if parity:
+            syndrome |= parity_position
+
+    corrected = False
+    ok = True
+    if syndrome:
+        if syndrome <= total_bits:
+            codeword ^= 1 << (syndrome - 1)
+            corrected = True
+        else:
+            ok = False
+
+    value = 0
+    data_index = 0
+    for position in range(1, total_bits + 1):
+        if _is_power_of_two(position):
+            continue
+        if (codeword >> (position - 1)) & 1:
+            value |= 1 << data_index
+        data_index += 1
+    return value, corrected, ok

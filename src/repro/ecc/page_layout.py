@@ -1,0 +1,77 @@
+"""Page layout: data area plus spare area holding the outlier ECC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ecc.codec import PageCodec
+from repro.ecc.hamming import hamming_parity_bits
+
+
+@dataclass(frozen=True)
+class PageLayout:
+    """Geometry of one flash page as seen by the ECC design.
+
+    The paper's numbers: a 16 KB page stores 16384 INT8 weights, its spare
+    area is 1664 B, and the outlier ECC needs
+    ``8*9 + (14 + 5 + 8*2) * 163`` bits = 722 B — comfortably inside the spare
+    space that a conventional LDPC code would otherwise occupy.
+    """
+
+    page_bytes: int = 16 * 1024
+    spare_bytes: int = 1664
+    weight_bits: int = 8
+    protect_fraction: float = 0.01
+    threshold_copies: int = 9
+    value_copies: int = 2
+
+    def __post_init__(self) -> None:
+        if self.page_bytes <= 0 or self.spare_bytes < 0:
+            raise ValueError("page_bytes must be positive and spare_bytes non-negative")
+        if self.weight_bits <= 0:
+            raise ValueError("weight_bits must be positive")
+        if not 0.0 < self.protect_fraction <= 1.0:
+            raise ValueError("protect_fraction must be in (0, 1]")
+        if self.value_copies < 2 or self.value_copies % 2 != 0:
+            raise ValueError("value_copies must be a positive even number")
+
+    @property
+    def elements_per_page(self) -> int:
+        return self.page_bytes * 8 // self.weight_bits
+
+    @property
+    def protected_per_page(self) -> int:
+        from repro.quant.outliers import outlier_count
+
+        return outlier_count(self.elements_per_page, self.protect_fraction)
+
+    @property
+    def address_bits(self) -> int:
+        bits = 1
+        while (1 << bits) < self.elements_per_page:
+            bits += 1
+        return bits
+
+    @property
+    def ecc_bits(self) -> int:
+        """Bit-exact ECC footprint per page."""
+        parity = hamming_parity_bits(self.address_bits)
+        per_entry = self.address_bits + parity + self.value_copies * self.weight_bits
+        return self.threshold_copies * self.weight_bits + per_entry * self.protected_per_page
+
+    @property
+    def ecc_bytes(self) -> float:
+        return self.ecc_bits / 8
+
+    def fits_in_spare(self) -> bool:
+        """Whether the outlier ECC fits in the page's spare area."""
+        return self.ecc_bytes <= self.spare_bytes
+
+    def codec(self) -> PageCodec:
+        """Build the matching page codec."""
+        return PageCodec(
+            page_elements=self.elements_per_page,
+            protect_fraction=self.protect_fraction,
+            threshold_copies=self.threshold_copies,
+            address_bits=self.address_bits,
+        )

@@ -1,0 +1,21 @@
+"""Per-token data-movement and energy model (Fig. 16).
+
+Data movement dominates the energy of single-batch LLM decode, so the model
+counts the bytes each architecture moves over each physical path and weights
+them by per-bit transfer energies.
+"""
+
+from repro.energy.paths import EnergyPerBit, TransferPath
+from repro.energy.model import (
+    CambriconEnergyModel,
+    EnergyReport,
+    FlexGenSSDEnergyModel,
+)
+
+__all__ = [
+    "TransferPath",
+    "EnergyPerBit",
+    "EnergyReport",
+    "CambriconEnergyModel",
+    "FlexGenSSDEnergyModel",
+]

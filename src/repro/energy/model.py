@@ -1,0 +1,107 @@
+"""Per-token traffic and energy accounting for Cambricon-LLM and FlexGen-SSD.
+
+Reproduces Fig. 16: the external data moved per generated token and the
+energy that movement costs, for Cambricon-LLM-S versus FlexGen-SSD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.baselines.flexgen import FlexGenSSD
+from repro.core.engine import InferenceEngine
+from repro.core.metrics import DecodeReport
+from repro.energy.paths import EnergyPerBit, TransferPath
+from repro.llm.models import ModelSpec, get_model
+from repro.llm.workload import DecodeWorkload
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Traffic and energy of one generated token on one system."""
+
+    system_name: str
+    model_name: str
+    external_transfer_bytes: float
+    total_transfer_bytes: float
+    energy_joules: float
+    breakdown_joules: Dict[str, float]
+
+
+@dataclass
+class CambriconEnergyModel:
+    """Traffic/energy model of a Cambricon-LLM configuration."""
+
+    engine: InferenceEngine
+    energies: EnergyPerBit = field(default_factory=EnergyPerBit)
+
+    def report(self, model: "ModelSpec | str", seq_len: int = 1000) -> EnergyReport:
+        decode: DecodeReport = self.engine.decode_report(model, seq_len)
+        traffic = decode.traffic
+        workload = DecodeWorkload(
+            get_model(decode.model_name) if isinstance(model, str) else model,
+            seq_len=seq_len,
+            weight_bits=self.engine.config.weight_bits,
+            activation_bits=self.engine.config.activation_bits,
+            kv_bits=self.engine.config.kv_bits,
+        )
+        breakdown = {
+            "flash_array_read": self.energies.transfer_joules(
+                TransferPath.FLASH_ARRAY_READ, traffic.flash_internal_bytes
+            ),
+            "chiplet_d2d": self.energies.transfer_joules(
+                TransferPath.CHIPLET_D2D,
+                traffic.d2d_stream_bytes + traffic.d2d_vector_bytes,
+            ),
+            "lpddr_kv": self.energies.transfer_joules(
+                TransferPath.LPDDR, traffic.dram_kv_bytes
+            ),
+            "compute": self.energies.compute_joules(workload.total_ops),
+        }
+        return EnergyReport(
+            system_name=self.engine.config.name,
+            model_name=decode.model_name,
+            external_transfer_bytes=traffic.external_bytes,
+            total_transfer_bytes=traffic.total_bytes,
+            energy_joules=sum(breakdown.values()),
+            breakdown_joules=breakdown,
+        )
+
+
+@dataclass
+class FlexGenSSDEnergyModel:
+    """Traffic/energy model of the FlexGen-SSD baseline.
+
+    Each weight byte is read from the SSD, written to host DRAM, read back
+    from DRAM and pushed over PCIe into the GPU's HBM — the 3x traffic
+    multiplication the paper measures.
+    """
+
+    baseline: FlexGenSSD = field(default_factory=FlexGenSSD)
+    energies: EnergyPerBit = field(default_factory=EnergyPerBit)
+
+    def report(self, model: "ModelSpec | str", seq_len: int = 1000) -> EnergyReport:
+        workload = self.baseline.workload(model, seq_len)
+        weight_bytes = workload.gemv_weight_bytes
+        kv_bytes = workload.kv_cache_bytes
+        breakdown = {
+            "ssd_read": self.energies.transfer_joules(TransferPath.SSD_READ, weight_bytes),
+            "host_ddr": self.energies.transfer_joules(
+                TransferPath.HOST_DDR, 2 * weight_bytes
+            ),
+            "pcie": self.energies.transfer_joules(TransferPath.PCIE, weight_bytes),
+            "gpu_hbm": self.energies.transfer_joules(
+                TransferPath.GPU_HBM, weight_bytes + kv_bytes
+            ),
+            "compute": self.energies.compute_joules(workload.total_ops),
+        }
+        external = 3 * weight_bytes + kv_bytes
+        return EnergyReport(
+            system_name=self.baseline.name,
+            model_name=workload.model.name,
+            external_transfer_bytes=external,
+            total_transfer_bytes=external + weight_bytes,
+            energy_joules=sum(breakdown.values()),
+            breakdown_joules=breakdown,
+        )

@@ -1,0 +1,67 @@
+"""Transfer paths and per-bit energies.
+
+The constants are calibrated figures of merit for each interface class
+(NAND array sensing, chiplet D2D links, LPDDR, NVMe SSD reads including the
+controller, PCIe, server DDR).  Absolute joules depend on process and vendor;
+what the reproduction preserves is the paper's qualitative result — an order
+of magnitude less external traffic and roughly a third less transfer energy
+per token than FlexGen-SSD.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class TransferPath(enum.Enum):
+    """Physical data paths whose traffic the energy model accounts."""
+
+    FLASH_ARRAY_READ = "flash_array_read"      # NAND cell -> data register
+    CHIPLET_D2D = "chiplet_d2d"                # flash die <-> NPU over D2D link
+    LPDDR = "lpddr"                            # NPU <-> LPDDR (KV cache)
+    NPU_COMPUTE = "npu_compute"                # arithmetic on the NPU / flash PEs
+    SSD_READ = "ssd_read"                      # NVMe SSD read incl. controller
+    HOST_DDR = "host_ddr"                      # server DDR read or write
+    PCIE = "pcie"                              # host <-> GPU PCIe transfer
+    GPU_HBM = "gpu_hbm"                        # GPU HBM access
+
+
+#: Default per-bit energies in picojoules.
+_DEFAULT_PJ_PER_BIT: Dict[TransferPath, float] = {
+    TransferPath.FLASH_ARRAY_READ: 15.0,
+    TransferPath.CHIPLET_D2D: 2.0,
+    TransferPath.LPDDR: 12.0,
+    TransferPath.NPU_COMPUTE: 0.4,           # per operation, not per bit
+    TransferPath.SSD_READ: 13.0,
+    TransferPath.HOST_DDR: 6.0,
+    TransferPath.PCIE: 6.0,
+    TransferPath.GPU_HBM: 3.0,
+}
+
+
+@dataclass(frozen=True)
+class EnergyPerBit:
+    """Per-bit (and per-op) energy table used by the energy models."""
+
+    pj_per_bit: Dict[TransferPath, float] = field(
+        default_factory=lambda: dict(_DEFAULT_PJ_PER_BIT)
+    )
+
+    def __post_init__(self) -> None:
+        for path, value in self.pj_per_bit.items():
+            if value < 0:
+                raise ValueError(f"negative energy for {path}")
+
+    def transfer_joules(self, path: TransferPath, num_bytes: float) -> float:
+        """Energy to move ``num_bytes`` over ``path``."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return self.pj_per_bit[path] * 1e-12 * num_bytes * 8
+
+    def compute_joules(self, ops: float) -> float:
+        """Energy of ``ops`` arithmetic operations."""
+        if ops < 0:
+            raise ValueError("ops must be non-negative")
+        return self.pj_per_bit[TransferPath.NPU_COMPUTE] * 1e-12 * ops

@@ -1,0 +1,78 @@
+"""On-die Compute Core model.
+
+Section IV-B: each die has one shared Compute Core consisting of a few MAC
+units, an input buffer, an output buffer and the Error Correction Unit.  The
+core's throughput is provisioned to match the plane read speed — a page must
+be multiplied against the input vector in no more time than the next page
+takes to arrive from the NAND array (tR), otherwise the read pipeline stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class ComputeCoreSpec:
+    """Capability description of one on-die Compute Core.
+
+    Attributes
+    ----------
+    macs:
+        Number of multiply-accumulate units.
+    clock_hz:
+        Core clock.  The paper sizes the core at ~2 MACs for a 20 us tR /
+        16 KB page; the default (4 MACs @ 800 MHz) comfortably covers the
+        30 us tR / 16 KB operating point of Table II.
+    input_buffer_bytes / output_buffer_bytes:
+        SRAM buffers holding the input vector slice and the result slice
+        (2 KB combined in Table IV).
+    """
+
+    macs: int = 4
+    clock_hz: float = 800e6
+    input_buffer_bytes: int = 1024
+    output_buffer_bytes: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.macs <= 0:
+            raise ValueError("macs must be positive")
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        if self.input_buffer_bytes <= 0 or self.output_buffer_bytes <= 0:
+            raise ValueError("buffer sizes must be positive")
+
+    @property
+    def ops_per_second(self) -> float:
+        """Peak throughput in INT8 operations/s (multiply + add per MAC cycle)."""
+        return 2.0 * self.macs * self.clock_hz
+
+    def page_compute_seconds(self, page_bytes: int, weight_bits: int = 8) -> float:
+        """Time to multiply one page worth of weights against the input vector.
+
+        One page of ``page_bytes`` holds ``page_bytes * 8 / weight_bits``
+        weights; each contributes one multiply and one add.
+        """
+        if page_bytes <= 0:
+            raise ValueError("page_bytes must be positive")
+        weights = page_bytes * 8 / weight_bits
+        return 2.0 * weights / self.ops_per_second
+
+    def keeps_up_with_read(
+        self, page_bytes: int, read_us: float, weight_bits: int = 8
+    ) -> bool:
+        """Whether the core drains a page at least as fast as the array reads one.
+
+        This is the paper's provisioning rule ("the computing power of the
+        Compute Core must match the read speed of the flash memory array").
+        """
+        return self.page_compute_seconds(page_bytes, weight_bits) <= read_us * US
+
+    def required_macs(self, page_bytes: int, read_us: float, weight_bits: int = 8) -> int:
+        """Minimum MAC count so page compute time does not exceed tR."""
+        weights = page_bytes * 8 / weight_bits
+        ops_needed_per_second = 2.0 * weights / (read_us * US)
+        return max(1, ceil(ops_needed_per_second / (2.0 * self.clock_hz)))

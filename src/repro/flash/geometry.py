@@ -1,0 +1,119 @@
+"""Flash array geometry.
+
+The paper's flash follows the conventional NAND hierarchy (Fig. 2):
+channels → chips → dies → planes → blocks → pages, with one shared Compute
+Core per die (Fig. 4b).  The geometry object is the single source of truth
+for all structural counts used by the tiler, the address map and the
+simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import KiB
+
+
+@dataclass(frozen=True)
+class FlashGeometry:
+    """Structural description of the flash array attached to the NPU.
+
+    The defaults correspond to the per-chip organisation of Table II
+    (2 dies per chip, 2 planes and 1 compute core per die, 16 KB pages);
+    channel and chip counts distinguish Cambricon-LLM-S/M/L.
+    """
+
+    channels: int = 8
+    chips_per_channel: int = 2
+    dies_per_chip: int = 2
+    planes_per_die: int = 2
+    compute_cores_per_die: int = 1
+    page_bytes: int = 16 * KiB
+    pages_per_block: int = 256
+    blocks_per_plane: int = 1024
+    spare_bytes_per_page: int = 1664
+
+    def __post_init__(self) -> None:
+        for name in (
+            "channels",
+            "chips_per_channel",
+            "dies_per_chip",
+            "planes_per_die",
+            "compute_cores_per_die",
+            "page_bytes",
+            "pages_per_block",
+            "blocks_per_plane",
+        ):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.spare_bytes_per_page < 0:
+            raise ValueError("spare_bytes_per_page must be non-negative")
+
+    # -- structural counts ---------------------------------------------------
+    @property
+    def dies_per_channel(self) -> int:
+        return self.chips_per_channel * self.dies_per_chip
+
+    @property
+    def total_chips(self) -> int:
+        return self.channels * self.chips_per_channel
+
+    @property
+    def total_dies(self) -> int:
+        return self.channels * self.dies_per_channel
+
+    @property
+    def total_planes(self) -> int:
+        return self.total_dies * self.planes_per_die
+
+    @property
+    def compute_cores_per_channel(self) -> int:
+        """Compute Cores reachable through one channel (the paper's ``ccorenum``)."""
+        return self.dies_per_channel * self.compute_cores_per_die
+
+    @property
+    def total_compute_cores(self) -> int:
+        return self.channels * self.compute_cores_per_channel
+
+    # -- capacities ------------------------------------------------------------
+    @property
+    def plane_capacity_bytes(self) -> int:
+        return self.blocks_per_plane * self.pages_per_block * self.page_bytes
+
+    @property
+    def die_capacity_bytes(self) -> int:
+        return self.planes_per_die * self.plane_capacity_bytes
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        return self.total_dies * self.die_capacity_bytes
+
+    @property
+    def total_pages(self) -> int:
+        return self.total_planes * self.blocks_per_plane * self.pages_per_block
+
+    # -- helpers ---------------------------------------------------------------
+    def scaled(self, channels: int = None, chips_per_channel: int = None) -> "FlashGeometry":
+        """Return a copy with a different channel / chip count.
+
+        Used by the scalability study (Fig. 15) which sweeps one dimension
+        while keeping the per-die organisation fixed.
+        """
+        return FlashGeometry(
+            channels=self.channels if channels is None else channels,
+            chips_per_channel=(
+                self.chips_per_channel if chips_per_channel is None else chips_per_channel
+            ),
+            dies_per_chip=self.dies_per_chip,
+            planes_per_die=self.planes_per_die,
+            compute_cores_per_die=self.compute_cores_per_die,
+            page_bytes=self.page_bytes,
+            pages_per_block=self.pages_per_block,
+            blocks_per_plane=self.blocks_per_plane,
+            spare_bytes_per_page=self.spare_bytes_per_page,
+        )
+
+    def can_store(self, weight_bytes: float) -> bool:
+        """Whether the array capacity can hold a weight footprint."""
+        return weight_bytes <= self.total_capacity_bytes

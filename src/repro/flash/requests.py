@@ -1,0 +1,129 @@
+"""Flash request types.
+
+Cambricon-LLM extends the normal flash command set with a *read-compute*
+request (Section IV-B).  The scheduler in :mod:`repro.core` emits, per weight
+tile, one :class:`ReadComputeTile` (covering one page per Compute Core) and,
+for the NPU's share of the weights, a stream of :class:`PageReadRequest`
+objects whose data transfers may be segmented into :class:`SlicedTransfer`
+pieces by the Slice Control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class PageReadRequest:
+    """A conventional page read whose data is returned to the NPU.
+
+    Attributes
+    ----------
+    request_id:
+        Monotonic id used for ordering and bookkeeping.
+    die:
+        Index of the die (within its channel) that holds the page.
+    plane:
+        Plane index within the die.
+    page_bytes:
+        Payload size (normally the full page).
+    """
+
+    request_id: int
+    die: int
+    plane: int
+    page_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.page_bytes <= 0:
+            raise ValueError("page_bytes must be positive")
+        if self.die < 0 or self.plane < 0:
+            raise ValueError("die and plane indices must be non-negative")
+
+
+@dataclass(frozen=True)
+class ReadComputeTile:
+    """One read-compute request: a weight tile computed in-flash.
+
+    A tile spans one page on every Compute Core of the channel.  The channel
+    must first broadcast the tile's input-vector slice to all cores
+    (``input_bytes``), each core then reads its page (tR) and multiplies it,
+    and finally each core returns its partial result (``output_bytes_per_core``).
+
+    Attributes
+    ----------
+    tile_id:
+        Monotonic id.
+    cores:
+        Number of Compute Cores on this channel participating in the tile.
+    input_bytes:
+        Input-vector slice broadcast once per channel for this tile.
+    output_bytes_per_core:
+        Result slice each core sends back through the channel.
+    pages_per_core:
+        Pages each core processes for this tile (1 for a full tile, may be
+        fractional-free integer >1 when a tile is taller than one page row).
+    """
+
+    tile_id: int
+    cores: int
+    input_bytes: float
+    output_bytes_per_core: float
+    pages_per_core: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.input_bytes < 0 or self.output_bytes_per_core < 0:
+            raise ValueError("transfer sizes must be non-negative")
+        if self.pages_per_core <= 0:
+            raise ValueError("pages_per_core must be positive")
+
+    @property
+    def channel_bytes(self) -> float:
+        """Total channel traffic caused by this tile on its channel."""
+        return self.input_bytes + self.cores * self.output_bytes_per_core
+
+
+@dataclass
+class SlicedTransfer:
+    """The channel-transfer part of a page read, segmented into slices.
+
+    The Slice Control (Section IV-C) splits the page payload into
+    ``slice_bytes`` chunks so the transfer can be interleaved into the channel
+    bubbles left by read-compute requests instead of blocking them.
+    """
+
+    request: PageReadRequest
+    slice_bytes: int
+    remaining_bytes: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.slice_bytes <= 0:
+            raise ValueError("slice_bytes must be positive")
+        self.remaining_bytes = float(self.request.page_bytes)
+
+    @property
+    def done(self) -> bool:
+        return self.remaining_bytes <= 0
+
+    def next_slice(self) -> float:
+        """Size of the next slice to transfer (the final slice may be short)."""
+        if self.done:
+            raise RuntimeError("transfer already complete")
+        return min(self.slice_bytes, self.remaining_bytes)
+
+    def consume(self, transferred: float) -> None:
+        """Record that ``transferred`` bytes of this page have been sent."""
+        if transferred <= 0:
+            raise ValueError("transferred must be positive")
+        if transferred > self.remaining_bytes + 1e-9:
+            raise ValueError("cannot transfer more than the remaining bytes")
+        self.remaining_bytes -= transferred
+
+    @property
+    def slices_total(self) -> int:
+        """Number of slices the full page is split into."""
+        full, rem = divmod(self.request.page_bytes, self.slice_bytes)
+        return int(full + (1 if rem else 0))

@@ -1,0 +1,426 @@
+"""Discrete-event simulator of one flash channel with on-die compute.
+
+This is the reproduction's stand-in for the paper's SSDsim-based evaluation.
+Channels are symmetric under the hardware-aware tiling (every channel sees the
+same request mix), so simulating a single channel window and scaling by the
+channel count reproduces array-level behaviour while keeping runs fast enough
+for the benchmark harness.
+
+The simulator models, at request granularity:
+
+* the shared channel bus (one transfer at a time, command overhead per
+  transaction),
+* per-die read-compute pipelines: input-vector broadcast → NAND array read
+  (tR) → register move → Compute Core GeMV → result transfer,
+* per-die plain-read pipelines on the plane not used by read-compute requests,
+* the three Slice Control policies of Fig. 6: read-compute only, un-sliced
+  reads (which block subsequent read-compute requests) and sliced reads
+  (which fill the channel bubbles).
+
+The companion closed-form model lives in :mod:`repro.flash.analytical`; the
+test suite cross-checks the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.flash.compute_core import ComputeCoreSpec
+from repro.flash.geometry import FlashGeometry
+from repro.flash.slicing import SliceControl, SlicePolicy
+from repro.flash.timing import FlashTiming
+
+# Transaction kinds on the channel.
+_KIND_BROADCAST = "rc_broadcast"
+_KIND_OUTPUT = "rc_output"
+_KIND_READ_SLICE = "read_slice"
+_KIND_READ_HOLD = "read_hold"
+
+# Priorities: lower value is granted first among simultaneously-ready
+# transactions.  Under the SLICED policy read slices yield to read-compute
+# traffic; under UNSLICED everything is first-come-first-served, which is
+# precisely what lets a whole-page transfer block the next broadcast.
+_PRIORITY_RC = 0
+_PRIORITY_READ = 1
+
+
+@dataclass
+class ChannelWorkload:
+    """Work for one channel over one simulation window.
+
+    Attributes
+    ----------
+    rc_tiles:
+        Number of read-compute tiles (each covers one page per Compute Core
+        on this channel).
+    rc_input_bytes:
+        Input-vector bytes broadcast per tile on this channel.
+    rc_output_bytes_per_core:
+        Result bytes each Compute Core returns per tile.
+    read_pages:
+        Number of plain weight pages streamed to the NPU through this channel.
+    """
+
+    rc_tiles: int
+    rc_input_bytes: float
+    rc_output_bytes_per_core: float
+    read_pages: int
+
+    def __post_init__(self) -> None:
+        if self.rc_tiles < 0 or self.read_pages < 0:
+            raise ValueError("request counts must be non-negative")
+        if self.rc_input_bytes < 0 or self.rc_output_bytes_per_core < 0:
+            raise ValueError("transfer sizes must be non-negative")
+        if self.rc_tiles == 0 and self.read_pages == 0:
+            raise ValueError("workload must contain at least one request")
+
+
+@dataclass
+class ChannelSimulationResult:
+    """Timing and occupancy outcome of one simulated channel window."""
+
+    makespan: float
+    channel_busy: float
+    rc_tiles_done: int
+    read_pages_done: int
+    in_flash_weight_bytes: float
+    read_weight_bytes: float
+    rc_vector_bytes: float
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the window the channel bus spent transferring data."""
+        if self.makespan <= 0:
+            return 0.0
+        return min(1.0, self.channel_busy / self.makespan)
+
+    @property
+    def in_flash_rate(self) -> float:
+        """Weights consumed by in-die compute, bytes/s (per channel)."""
+        return self.in_flash_weight_bytes / self.makespan if self.makespan else 0.0
+
+    @property
+    def read_stream_rate(self) -> float:
+        """Weights streamed to the NPU, bytes/s (per channel)."""
+        return self.read_weight_bytes / self.makespan if self.makespan else 0.0
+
+    @property
+    def combined_rate(self) -> float:
+        return self.in_flash_rate + self.read_stream_rate
+
+
+@dataclass
+class _Transaction:
+    """A pending channel transaction."""
+
+    ready: float
+    priority: int
+    seq: int
+    kind: str
+    duration: float
+    busy_time: float
+    die: int = -1
+    tile: int = -1
+    remaining_page_bytes: float = 0.0
+
+
+@dataclass
+class _DieState:
+    """Per-die pipeline state."""
+
+    rc_plane_free: float = 0.0
+    core_free: float = 0.0
+    read_plane_free: float = 0.0
+    read_pages_left: int = 0
+    read_outstanding: int = 0
+    read_transfer_tail: float = 0.0
+
+
+class ChannelSimulator:
+    """Event-driven model of one flash channel and its dies."""
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        timing: FlashTiming,
+        core: ComputeCoreSpec = None,
+        slice_control: SliceControl = None,
+        weight_bits: int = 8,
+        input_buffer_depth: int = 2,
+        max_outstanding_reads_per_die: int = 2,
+    ) -> None:
+        self.geometry = geometry
+        self.timing = timing
+        self.core = core if core is not None else ComputeCoreSpec()
+        self.slice_control = (
+            slice_control if slice_control is not None else SliceControl()
+        )
+        self.weight_bits = weight_bits
+        if input_buffer_depth < 1:
+            raise ValueError("input_buffer_depth must be at least 1")
+        self.input_buffer_depth = input_buffer_depth
+        if max_outstanding_reads_per_die < 1:
+            raise ValueError("max_outstanding_reads_per_die must be at least 1")
+        self.max_outstanding_reads = max_outstanding_reads_per_die
+
+    # -- public API ----------------------------------------------------------
+    def run(self, workload: ChannelWorkload) -> ChannelSimulationResult:
+        """Simulate one channel window and return timing/occupancy results."""
+        self._workload = workload
+        self._dies = [_DieState() for _ in range(self.geometry.dies_per_channel)]
+        self._pending: List[_Transaction] = []
+        self._seq = 0
+        self._channel_free = 0.0
+        self._channel_busy = 0.0
+        self._last_completion = 0.0
+        self._tiles_issued = 0
+        self._tiles_completed = 0
+        self._outputs_remaining: Dict[int, int] = {}
+        self._read_pages_done = 0
+        self._rc_vector_bytes = 0.0
+
+        self._distribute_reads(workload.read_pages)
+        if workload.rc_tiles > 0:
+            self._schedule_broadcast(ready=0.0)
+        for die_index in range(len(self._dies)):
+            self._start_reads_for_die(die_index, now=0.0)
+
+        while self._pending:
+            txn = self._pop_next_transaction()
+            start = max(self._channel_free, txn.ready)
+            end = start + txn.duration
+            self._channel_free = end
+            self._channel_busy += txn.busy_time
+            self._last_completion = max(self._last_completion, end)
+            self._handle_completion(txn, end)
+
+        in_flash_bytes = (
+            self._tiles_completed
+            * self.geometry.compute_cores_per_channel
+            * self.geometry.page_bytes
+        )
+        read_bytes = self._read_pages_done * self.geometry.page_bytes
+        return ChannelSimulationResult(
+            makespan=self._last_completion,
+            channel_busy=self._channel_busy,
+            rc_tiles_done=self._tiles_completed,
+            read_pages_done=self._read_pages_done,
+            in_flash_weight_bytes=float(in_flash_bytes),
+            read_weight_bytes=float(read_bytes),
+            rc_vector_bytes=self._rc_vector_bytes,
+        )
+
+    # -- transaction queue -----------------------------------------------------
+    def _push(self, txn: _Transaction) -> None:
+        self._pending.append(txn)
+
+    def _pop_next_transaction(self) -> _Transaction:
+        """Grant the next channel transaction.
+
+        Among transactions already ready when the channel frees up,
+        read-compute traffic has priority over plain-read data; otherwise the
+        transaction that becomes ready first wins (the channel never idles
+        past the earliest ready work).  Un-sliced reads block despite the
+        priority rule because once granted their whole page hold is
+        non-preemptible.
+        """
+        ready_now = [t for t in self._pending if t.ready <= self._channel_free + 1e-15]
+        if ready_now:
+            chosen = min(ready_now, key=lambda t: (t.priority, t.ready, t.seq))
+        else:
+            chosen = min(self._pending, key=lambda t: (t.ready, t.priority, t.seq))
+        self._pending.remove(chosen)
+        return chosen
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- read-compute pipeline ---------------------------------------------------
+    def _schedule_broadcast(self, ready: float) -> None:
+        """Queue the input-vector broadcast of the next read-compute tile."""
+        if self._tiles_issued >= self._workload.rc_tiles:
+            return
+        duration = (
+            self.timing.transfer_seconds(self._workload.rc_input_bytes)
+            + self.timing.command_overhead_seconds
+        )
+        self._push(
+            _Transaction(
+                ready=ready,
+                priority=_PRIORITY_RC,
+                seq=self._next_seq(),
+                kind=_KIND_BROADCAST,
+                duration=duration,
+                busy_time=duration,
+                tile=self._tiles_issued,
+            )
+        )
+        self._tiles_issued += 1
+
+    def _handle_broadcast_done(self, txn: _Transaction, end: float) -> None:
+        """Expand a finished broadcast into per-die reads, computes and outputs."""
+        tile = txn.tile
+        self._rc_vector_bytes += self._workload.rc_input_bytes
+        cores_per_die = self.geometry.compute_cores_per_die
+        t_read = self.timing.read_seconds
+        t_reg = self.timing.register_transfer_seconds
+        t_compute = self.core.page_compute_seconds(
+            self.geometry.page_bytes, self.weight_bits
+        )
+        output_duration = (
+            self.timing.transfer_seconds(self._workload.rc_output_bytes_per_core)
+            + self.timing.command_overhead_seconds
+        )
+
+        self._outputs_remaining[tile] = len(self._dies) * cores_per_die
+        earliest_read_start: Optional[float] = None
+        for die_index, die in enumerate(self._dies):
+            for _ in range(cores_per_die):
+                read_start = max(end, die.rc_plane_free)
+                read_end = read_start + t_read
+                die.rc_plane_free = read_end + t_reg
+                compute_start = max(read_end + t_reg, die.core_free)
+                compute_end = compute_start + t_compute
+                die.core_free = compute_end
+                if earliest_read_start is None or read_start < earliest_read_start:
+                    earliest_read_start = read_start
+                self._push(
+                    _Transaction(
+                        ready=compute_end,
+                        priority=_PRIORITY_RC,
+                        seq=self._next_seq(),
+                        kind=_KIND_OUTPUT,
+                        duration=output_duration,
+                        busy_time=output_duration,
+                        die=die_index,
+                        tile=tile,
+                    )
+                )
+
+        # The next broadcast may go out as soon as this tile's page reads have
+        # begun (the cores hold `input_buffer_depth` input slices), keeping the
+        # per-die pipeline saturated at one page per max(tR, compute).
+        next_ready = earliest_read_start if earliest_read_start is not None else end
+        if self.input_buffer_depth == 1:
+            next_ready = max(d.core_free for d in self._dies)
+        self._schedule_broadcast(ready=next_ready)
+
+    def _handle_output_done(self, txn: _Transaction, end: float) -> None:
+        self._rc_vector_bytes += self._workload.rc_output_bytes_per_core
+        self._outputs_remaining[txn.tile] -= 1
+        if self._outputs_remaining[txn.tile] == 0:
+            self._tiles_completed += 1
+
+    # -- plain-read pipeline -------------------------------------------------------
+    def _distribute_reads(self, read_pages: int) -> None:
+        """Assign plain-read pages round-robin across the channel's dies."""
+        for index in range(read_pages):
+            self._dies[index % len(self._dies)].read_pages_left += 1
+
+    def _start_reads_for_die(self, die_index: int, now: float) -> None:
+        """Launch plain reads on a die up to the outstanding limit."""
+        if not self.slice_control.allows_read_requests:
+            return
+        die = self._dies[die_index]
+        while die.read_pages_left > 0 and die.read_outstanding < self.max_outstanding_reads:
+            die.read_pages_left -= 1
+            die.read_outstanding += 1
+            if self.slice_control.policy is SlicePolicy.UNSLICED:
+                self._launch_unsliced_read(die_index, now)
+            else:
+                self._launch_sliced_read(die_index, now)
+
+    def _launch_unsliced_read(self, die_index: int, now: float) -> None:
+        """Legacy read: the channel is held from command issue to data end.
+
+        Without the Slice Control the flash controller cannot re-arbitrate the
+        channel between the read command and its page-sized data phase, so the
+        whole (tR + transfer) window blocks other traffic — the behaviour of
+        Fig. 6(b).  Only the data phase counts as useful bus occupancy.
+        """
+        die = self._dies[die_index]
+        transfer = self.timing.page_transfer_seconds(self.geometry.page_bytes)
+        duration = (
+            self.timing.read_seconds
+            + transfer
+            + self.timing.command_overhead_seconds
+        )
+        self._push(
+            _Transaction(
+                ready=max(now, die.read_plane_free),
+                priority=_PRIORITY_READ,
+                seq=self._next_seq(),
+                kind=_KIND_READ_HOLD,
+                duration=duration,
+                busy_time=transfer,
+                die=die_index,
+            )
+        )
+
+    def _launch_sliced_read(self, die_index: int, now: float) -> None:
+        """Sliced read: the array read happens off-channel, slices fill bubbles."""
+        die = self._dies[die_index]
+        t_read = self.timing.read_seconds
+        t_reg = self.timing.register_transfer_seconds
+        read_start = max(now, die.read_plane_free)
+        read_end = read_start + t_read
+        die.read_plane_free = read_end + t_reg
+        self._schedule_read_slice(
+            die_index,
+            ready=read_end + t_reg,
+            remaining=float(self.geometry.page_bytes),
+        )
+
+    def _schedule_read_slice(self, die_index: int, ready: float, remaining: float) -> None:
+        granularity = self.slice_control.transfer_granularity(self.geometry.page_bytes)
+        slice_bytes = min(granularity, remaining)
+        duration = (
+            self.timing.transfer_seconds(slice_bytes)
+            + self.timing.command_overhead_seconds
+        )
+        self._push(
+            _Transaction(
+                ready=ready,
+                priority=_PRIORITY_READ,
+                seq=self._next_seq(),
+                kind=_KIND_READ_SLICE,
+                duration=duration,
+                busy_time=duration,
+                die=die_index,
+                remaining_page_bytes=remaining - slice_bytes,
+            )
+        )
+
+    def _handle_read_slice_done(self, txn: _Transaction, end: float) -> None:
+        if txn.remaining_page_bytes > 1e-9:
+            self._schedule_read_slice(
+                txn.die, ready=end, remaining=txn.remaining_page_bytes
+            )
+            return
+        die = self._dies[txn.die]
+        die.read_outstanding -= 1
+        die.read_transfer_tail = end
+        self._read_pages_done += 1
+        self._start_reads_for_die(txn.die, now=end)
+
+    def _handle_read_hold_done(self, txn: _Transaction, end: float) -> None:
+        die = self._dies[txn.die]
+        die.read_outstanding -= 1
+        die.read_plane_free = end
+        self._read_pages_done += 1
+        self._start_reads_for_die(txn.die, now=end)
+
+    # -- dispatch ------------------------------------------------------------------
+    def _handle_completion(self, txn: _Transaction, end: float) -> None:
+        if txn.kind == _KIND_BROADCAST:
+            self._handle_broadcast_done(txn, end)
+        elif txn.kind == _KIND_OUTPUT:
+            self._handle_output_done(txn, end)
+        elif txn.kind == _KIND_READ_SLICE:
+            self._handle_read_slice_done(txn, end)
+        elif txn.kind == _KIND_READ_HOLD:
+            self._handle_read_hold_done(txn, end)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown transaction kind {txn.kind!r}")

@@ -1,0 +1,69 @@
+"""Slice Control policies (Section IV-C).
+
+Three strategies from the paper's Fig. 6:
+
+* ``READ_COMPUTE_ONLY`` — strategy (a): the channel carries only read-compute
+  requests (all weights processed in-flash).  Channel utilisation is tiny.
+* ``UNSLICED`` — strategy (b): normal read requests are interleaved but each
+  page data transfer occupies the channel contiguously, blocking subsequent
+  read-compute requests.
+* ``SLICED`` — strategy (c), the paper's proposal: read-request payloads are
+  segmented into small slices that fill the channel-occupancy bubbles between
+  read-compute transfers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.units import KiB
+
+
+class SlicePolicy(enum.Enum):
+    """Which Fig. 6 strategy the Slice Control applies."""
+
+    READ_COMPUTE_ONLY = "read_compute_only"
+    UNSLICED = "unsliced"
+    SLICED = "sliced"
+
+
+@dataclass(frozen=True)
+class SliceControl:
+    """Configuration of the on-die Slice Control.
+
+    Attributes
+    ----------
+    policy:
+        One of the three Fig. 6 strategies.
+    slice_bytes:
+        Slice granularity used when ``policy`` is ``SLICED``.  The default of
+        2 KiB keeps each slice well under the input-vector period of a
+        read-compute request so slices always fit in the bubbles.
+    """
+
+    policy: SlicePolicy = SlicePolicy.SLICED
+    slice_bytes: int = 2 * KiB
+
+    def __post_init__(self) -> None:
+        if self.slice_bytes <= 0:
+            raise ValueError("slice_bytes must be positive")
+
+    @property
+    def allows_read_requests(self) -> bool:
+        """Whether plain reads (weights streamed to the NPU) are issued at all."""
+        return self.policy is not SlicePolicy.READ_COMPUTE_ONLY
+
+    def transfer_granularity(self, page_bytes: int) -> int:
+        """Channel-transfer granularity for a plain read of ``page_bytes``."""
+        if page_bytes <= 0:
+            raise ValueError("page_bytes must be positive")
+        if self.policy is SlicePolicy.SLICED:
+            return min(self.slice_bytes, page_bytes)
+        return page_bytes
+
+    def slices_per_page(self, page_bytes: int) -> int:
+        """How many channel transactions one page payload becomes."""
+        granularity = self.transfer_granularity(page_bytes)
+        full, rem = divmod(page_bytes, granularity)
+        return int(full + (1 if rem else 0))

@@ -1,0 +1,89 @@
+"""Flash timing parameters.
+
+Table II of the paper fixes the timing-relevant numbers: ``tR = 30 us`` page
+read latency, a 1000 MT/s 8-bit channel bus (1 GB/s per channel), and 16 KB
+pages.  Everything downstream (tiling, α, the event simulator) consumes this
+object rather than raw constants so the scalability and sensitivity sweeps
+can vary them in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class FlashTiming:
+    """Timing description of the flash array and its channel interface.
+
+    Attributes
+    ----------
+    read_us:
+        Page read latency tR — NAND array to data register (microseconds).
+    channel_mt_per_s:
+        Channel transfer rate in mega-transfers per second.
+    channel_bus_bits:
+        Width of the channel bus in bits (8 in Table II).
+    register_transfer_us:
+        Data-register → cache-register move; effectively free compared to tR
+        but modelled so the pipeline description matches the paper's ❷/❸ steps.
+    command_overhead_us:
+        Fixed per-request command/addressing overhead on the channel.
+    program_us / erase_us:
+        Program and erase latencies; unused during inference (the paper notes
+        LLM inference is read-only) but part of a faithful flash model and
+        exercised by the tests.
+    """
+
+    read_us: float = 30.0
+    channel_mt_per_s: float = 1000.0
+    channel_bus_bits: int = 8
+    register_transfer_us: float = 1.0
+    command_overhead_us: float = 0.2
+    program_us: float = 600.0
+    erase_us: float = 3500.0
+
+    def __post_init__(self) -> None:
+        if self.read_us <= 0:
+            raise ValueError("read_us must be positive")
+        if self.channel_mt_per_s <= 0:
+            raise ValueError("channel_mt_per_s must be positive")
+        if self.channel_bus_bits <= 0:
+            raise ValueError("channel_bus_bits must be positive")
+        if self.register_transfer_us < 0 or self.command_overhead_us < 0:
+            raise ValueError("overheads must be non-negative")
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def read_seconds(self) -> float:
+        """Page read latency tR in seconds."""
+        return self.read_us * US
+
+    @property
+    def register_transfer_seconds(self) -> float:
+        return self.register_transfer_us * US
+
+    @property
+    def command_overhead_seconds(self) -> float:
+        return self.command_overhead_us * US
+
+    @property
+    def channel_bandwidth(self) -> float:
+        """Per-channel bandwidth in bytes per second."""
+        return self.channel_mt_per_s * 1e6 * self.channel_bus_bits / 8
+
+    def transfer_seconds(self, num_bytes: float) -> float:
+        """Time to move ``num_bytes`` over one channel (excluding queuing)."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes / self.channel_bandwidth
+
+    def page_transfer_seconds(self, page_bytes: int) -> float:
+        """Time to move one full page over the channel."""
+        return self.transfer_seconds(page_bytes)
+
+    def array_read_bandwidth(self, page_bytes: int) -> float:
+        """Internal read bandwidth of one plane (bytes/s): one page per tR."""
+        return page_bytes / self.read_seconds

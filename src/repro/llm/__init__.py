@@ -1,0 +1,45 @@
+"""LLM workload substrate.
+
+This package models the *workload* side of the paper: the transformer
+decoder architectures (OPT and Llama2 families), the operators a single
+decode step executes, the KV cache, and the resulting op/byte counts that
+drive the performance model.
+
+Public API
+----------
+- :class:`repro.llm.models.ModelSpec` and :func:`repro.llm.models.get_model`
+- :class:`repro.llm.workload.DecodeWorkload` /
+  :class:`repro.llm.workload.PrefillWorkload`
+- :mod:`repro.llm.intensity` for arithmetic-intensity analysis (Fig. 1/3a)
+"""
+
+from repro.llm.models import MODEL_ZOO, ModelSpec, get_model, list_models
+from repro.llm.operators import (
+    AttentionScoreOp,
+    AttentionValueOp,
+    ElementwiseOp,
+    GeMVOp,
+    Operator,
+    SFUOp,
+)
+from repro.llm.kv_cache import KVCache
+from repro.llm.layers import build_decode_layer_ops, build_lm_head_op
+from repro.llm.workload import DecodeWorkload, PrefillWorkload
+
+__all__ = [
+    "MODEL_ZOO",
+    "ModelSpec",
+    "get_model",
+    "list_models",
+    "Operator",
+    "GeMVOp",
+    "AttentionScoreOp",
+    "AttentionValueOp",
+    "SFUOp",
+    "ElementwiseOp",
+    "KVCache",
+    "build_decode_layer_ops",
+    "build_lm_head_op",
+    "DecodeWorkload",
+    "PrefillWorkload",
+]

@@ -1,0 +1,63 @@
+"""Arithmetic-intensity helpers for LLM workloads.
+
+The motivating observation of the paper (Fig. 1a, Fig. 3a) is that the decode
+phase of single-batch LLM inference has an arithmetic intensity of roughly
+2 ops/byte under INT8 quantization — orders of magnitude below both other AI
+workloads and hardware compute/bandwidth ratios.  These helpers compute that
+number directly from the workload model.
+"""
+
+from __future__ import annotations
+
+from repro.llm.models import ModelSpec, get_model
+from repro.llm.workload import DecodeWorkload, PrefillWorkload
+
+
+def decode_arithmetic_intensity(
+    model: "ModelSpec | str",
+    seq_len: int = 1000,
+    weight_bits: int = 8,
+    activation_bits: int = 8,
+) -> float:
+    """Ops/byte of one decode step of ``model`` under the given quantization."""
+    if isinstance(model, str):
+        model = get_model(model)
+    workload = DecodeWorkload(
+        model,
+        seq_len=seq_len,
+        weight_bits=weight_bits,
+        activation_bits=activation_bits,
+    )
+    return workload.arithmetic_intensity
+
+
+def prefill_arithmetic_intensity(
+    model: "ModelSpec | str",
+    prompt_len: int = 512,
+    weight_bits: int = 8,
+    activation_bits: int = 8,
+) -> float:
+    """Ops/byte of the prefill phase (weights amortised over all prompt tokens)."""
+    if isinstance(model, str):
+        model = get_model(model)
+    workload = PrefillWorkload(
+        model,
+        prompt_len=prompt_len,
+        weight_bits=weight_bits,
+        activation_bits=activation_bits,
+    )
+    return workload.arithmetic_intensity
+
+
+def gemv_reduction_ratio(rows: int, cols: int, activation_bits: int = 8) -> float:
+    """Reduction ratio of a GeMV: input data size over output data size.
+
+    For the paper's smallest 4096x4096 matrix this is ~4096 — about 100x
+    larger than the workloads earlier in-storage-computing systems target
+    (Fig. 1b).
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    input_bytes = rows * cols + cols * activation_bits / 8
+    output_bytes = rows * activation_bits / 8
+    return input_bytes / output_bytes

@@ -1,0 +1,69 @@
+"""KV-cache model.
+
+The paper keeps the KV cache in LPDDR DRAM (it is small — ~700 MB for a 70B
+model at 1000 cached tokens) while the weights live in flash.  This module
+provides the size accounting and the per-token read/write traffic the NPU
+generates against DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.models import ModelSpec
+
+
+@dataclass
+class KVCache:
+    """State of the KV cache during decoding.
+
+    Parameters
+    ----------
+    model:
+        Architecture the cache belongs to.
+    seq_len:
+        Number of tokens currently cached (prompt + generated so far).
+    bits_per_value:
+        Storage precision of cached keys/values (16 for FP16, 8 for INT8 KV).
+    """
+
+    model: ModelSpec
+    seq_len: int
+    bits_per_value: int = 16
+
+    def __post_init__(self) -> None:
+        if self.seq_len < 0:
+            raise ValueError(f"seq_len must be non-negative, got {self.seq_len}")
+        if self.bits_per_value <= 0:
+            raise ValueError("bits_per_value must be positive")
+
+    @property
+    def bytes_per_token_per_layer(self) -> float:
+        """K + V bytes stored per token in one layer."""
+        return 2 * self.model.kv_dim * self.bits_per_value / 8
+
+    @property
+    def total_bytes(self) -> float:
+        """Current total cache footprint in DRAM."""
+        return self.seq_len * self.model.num_layers * self.bytes_per_token_per_layer
+
+    def read_bytes_per_decode_step(self) -> float:
+        """Bytes of cached K and V the NPU must read to decode one token.
+
+        The attention of every layer reads the full cache of that layer.
+        """
+        return self.total_bytes
+
+    def write_bytes_per_decode_step(self) -> float:
+        """Bytes written to append the new token's K and V in every layer."""
+        return self.model.num_layers * self.bytes_per_token_per_layer
+
+    def append(self, tokens: int = 1) -> "KVCache":
+        """Return a new cache state with ``tokens`` more cached tokens."""
+        if tokens < 0:
+            raise ValueError("cannot append a negative number of tokens")
+        return KVCache(self.model, self.seq_len + tokens, self.bits_per_value)
+
+    def fits_in(self, dram_bytes: float) -> bool:
+        """Whether the cache fits in a DRAM budget (used by examples)."""
+        return self.total_bytes <= dram_bytes

@@ -1,0 +1,183 @@
+"""Decoder-layer operator graphs.
+
+:func:`build_decode_layer_ops` expands one decoder layer of a model into the
+ordered list of operators a single decode step executes, following the
+compute flow of Fig. 5 in the paper:
+
+1. Q/K/V projections (weight GeMVs, flash + NPU),
+2. attention against the KV cache (NPU + DRAM),
+3. softmax (SFU on the NPU),
+4. output projection and FFN (weight GeMVs, flash + NPU),
+5. residual adds / norms / activations (element-wise on the NPU).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.llm.models import ModelSpec
+from repro.llm.operators import (
+    AttentionScoreOp,
+    AttentionValueOp,
+    ElementwiseOp,
+    GeMVOp,
+    Operator,
+    SFUOp,
+)
+
+
+def build_decode_layer_ops(
+    model: ModelSpec,
+    seq_len: int,
+    weight_bits: int = 8,
+    activation_bits: int = 16,
+    kv_bits: int = 16,
+    batch_tokens: int = 1,
+) -> List[Operator]:
+    """Build the operator list for one decoder layer of one decode step.
+
+    Parameters
+    ----------
+    model:
+        Architecture to expand.
+    seq_len:
+        Number of previously cached tokens the attention reads.
+    weight_bits / activation_bits / kv_bits:
+        Quantization widths (W8A8 uses 8/8, W4A16 uses 4/16).
+    batch_tokens:
+        Tokens processed together; 1 for decode, prompt length for prefill.
+    """
+    if seq_len < 0:
+        raise ValueError(f"seq_len must be non-negative, got {seq_len}")
+
+    h = model.hidden_size
+    ops: List[Operator] = []
+
+    # Pre-attention norm.
+    ops.append(ElementwiseOp(name="attn_norm", elements=h * batch_tokens))
+
+    # Q/K/V projections.
+    ops.append(
+        GeMVOp(
+            name="w_q", rows=h, cols=h,
+            weight_bits=weight_bits, activation_bits=activation_bits,
+            batch_tokens=batch_tokens,
+        )
+    )
+    ops.append(
+        GeMVOp(
+            name="w_k", rows=model.kv_dim, cols=h,
+            weight_bits=weight_bits, activation_bits=activation_bits,
+            batch_tokens=batch_tokens,
+        )
+    )
+    ops.append(
+        GeMVOp(
+            name="w_v", rows=model.kv_dim, cols=h,
+            weight_bits=weight_bits, activation_bits=activation_bits,
+            batch_tokens=batch_tokens,
+        )
+    )
+
+    if model.family == "llama2":
+        # Rotary position embedding on Q and K.
+        ops.append(SFUOp(name="rope", elements=(h + model.kv_dim) * batch_tokens))
+
+    # Attention over the cache (+ the freshly produced token).
+    effective_len = seq_len + batch_tokens
+    ops.append(
+        AttentionScoreOp(
+            name="qk_scores",
+            num_heads=model.num_heads,
+            head_dim=model.head_dim,
+            seq_len=effective_len,
+            kv_bits=kv_bits,
+            activation_bits=activation_bits,
+        )
+    )
+    ops.append(
+        SFUOp(name="softmax", elements=model.num_heads * effective_len * batch_tokens)
+    )
+    ops.append(
+        AttentionValueOp(
+            name="sv_context",
+            num_heads=model.num_heads,
+            head_dim=model.head_dim,
+            seq_len=effective_len,
+            kv_bits=kv_bits,
+            activation_bits=activation_bits,
+        )
+    )
+
+    # Output projection.
+    ops.append(
+        GeMVOp(
+            name="w_o", rows=h, cols=h,
+            weight_bits=weight_bits, activation_bits=activation_bits,
+            batch_tokens=batch_tokens,
+        )
+    )
+    ops.append(ElementwiseOp(name="attn_residual", elements=h * batch_tokens))
+
+    # FFN.
+    ops.append(ElementwiseOp(name="ffn_norm", elements=h * batch_tokens))
+    f = model.ffn_hidden_size
+    if model.uses_gated_ffn:
+        ops.append(
+            GeMVOp(
+                name="w_gate", rows=f, cols=h,
+                weight_bits=weight_bits, activation_bits=activation_bits,
+                batch_tokens=batch_tokens,
+            )
+        )
+        ops.append(
+            GeMVOp(
+                name="w_up", rows=f, cols=h,
+                weight_bits=weight_bits, activation_bits=activation_bits,
+                batch_tokens=batch_tokens,
+            )
+        )
+        ops.append(SFUOp(name="silu_gate", elements=f * batch_tokens))
+        ops.append(
+            GeMVOp(
+                name="w_down", rows=h, cols=f,
+                weight_bits=weight_bits, activation_bits=activation_bits,
+                batch_tokens=batch_tokens,
+            )
+        )
+    else:
+        ops.append(
+            GeMVOp(
+                name="w_up", rows=f, cols=h,
+                weight_bits=weight_bits, activation_bits=activation_bits,
+                batch_tokens=batch_tokens,
+            )
+        )
+        ops.append(SFUOp(name="relu", elements=f * batch_tokens, ops_per_element=1.0))
+        ops.append(
+            GeMVOp(
+                name="w_down", rows=h, cols=f,
+                weight_bits=weight_bits, activation_bits=activation_bits,
+                batch_tokens=batch_tokens,
+            )
+        )
+    ops.append(ElementwiseOp(name="ffn_residual", elements=h * batch_tokens))
+
+    return ops
+
+
+def build_lm_head_op(
+    model: ModelSpec,
+    weight_bits: int = 8,
+    activation_bits: int = 16,
+    batch_tokens: int = 1,
+) -> GeMVOp:
+    """Build the final vocabulary projection (LM head) GeMV."""
+    return GeMVOp(
+        name="lm_head",
+        rows=model.vocab_size,
+        cols=model.hidden_size,
+        weight_bits=weight_bits,
+        activation_bits=activation_bits,
+        batch_tokens=batch_tokens,
+    )

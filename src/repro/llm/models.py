@@ -1,0 +1,225 @@
+"""Transformer model zoo used throughout the paper's evaluation.
+
+The paper evaluates OPT-6.7B/13B/30B/66B against FlexGen and
+Llama2-7B/13B/70B against MLC-LLM.  We describe each architecture with the
+hyper-parameters published in the OPT and Llama2 papers; all op and byte
+counts downstream derive from these numbers, so getting them right matters
+more than it may look.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architecture description of a decoder-only transformer.
+
+    Attributes
+    ----------
+    name:
+        Canonical model name, e.g. ``"opt-6.7b"``.
+    family:
+        ``"opt"`` or ``"llama2"``; controls the FFN structure (OPT uses a
+        two-matrix ReLU FFN, Llama2 a three-matrix SwiGLU FFN) and attention
+        variant (Llama2-70B uses grouped-query attention).
+    num_layers:
+        Number of decoder layers.
+    hidden_size:
+        Model (embedding) dimension ``d_model``.
+    num_heads:
+        Number of attention heads.
+    num_kv_heads:
+        Number of key/value heads (== ``num_heads`` unless GQA).
+    ffn_hidden_size:
+        Intermediate dimension of the feed-forward network.
+    vocab_size:
+        Vocabulary size (drives the LM head GeMV).
+    max_seq_len:
+        Maximum sequence length the model was trained for.
+    """
+
+    name: str
+    family: str
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    num_kv_heads: int
+    ffn_hidden_size: int
+    vocab_size: int
+    max_seq_len: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.family not in ("opt", "llama2"):
+            raise ValueError(f"unknown model family: {self.family!r}")
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError(
+                f"hidden_size {self.hidden_size} not divisible by "
+                f"num_heads {self.num_heads}"
+            )
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ValueError(
+                f"num_heads {self.num_heads} not divisible by "
+                f"num_kv_heads {self.num_kv_heads}"
+            )
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Width of the K (or V) projection output (``num_kv_heads * head_dim``)."""
+        return self.num_kv_heads * self.head_dim
+
+    @property
+    def uses_gated_ffn(self) -> bool:
+        """Whether the FFN has a third (gate) matrix, as in Llama2's SwiGLU."""
+        return self.family == "llama2"
+
+    def attention_weight_shapes(self) -> Tuple[Tuple[int, int], ...]:
+        """Weight matrices of one attention block as (rows, cols) = (out, in)."""
+        h = self.hidden_size
+        return (
+            (h, h),               # W_Q
+            (self.kv_dim, h),     # W_K
+            (self.kv_dim, h),     # W_V
+            (h, h),               # W_O
+        )
+
+    def ffn_weight_shapes(self) -> Tuple[Tuple[int, int], ...]:
+        """Weight matrices of one FFN block as (rows, cols) = (out, in)."""
+        h, f = self.hidden_size, self.ffn_hidden_size
+        if self.uses_gated_ffn:
+            return ((f, h), (f, h), (h, f))   # gate, up, down
+        return ((f, h), (h, f))               # up, down
+
+    def layer_weight_shapes(self) -> Tuple[Tuple[int, int], ...]:
+        """All weight matrices of one decoder layer."""
+        return self.attention_weight_shapes() + self.ffn_weight_shapes()
+
+    def layer_weight_elements(self) -> int:
+        """Number of weight elements in one decoder layer."""
+        return sum(r * c for r, c in self.layer_weight_shapes())
+
+    def decoder_weight_elements(self) -> int:
+        """Number of weight elements across all decoder layers."""
+        return self.num_layers * self.layer_weight_elements()
+
+    def lm_head_elements(self) -> int:
+        """Number of weight elements in the output (LM head) projection."""
+        return self.vocab_size * self.hidden_size
+
+    def embedding_elements(self) -> int:
+        """Number of weight elements in the input token embedding table."""
+        return self.vocab_size * self.hidden_size
+
+    def total_parameters(self) -> int:
+        """Approximate total parameter count (decoder + embedding + head).
+
+        Norm scales and biases are a negligible fraction and are ignored,
+        matching the accounting the paper uses ("70 GB for 70B at INT8").
+        """
+        return (
+            self.decoder_weight_elements()
+            + self.embedding_elements()
+            + self.lm_head_elements()
+        )
+
+    def weight_bytes(self, bits_per_weight: int = 8) -> float:
+        """Total weight footprint in bytes under the given quantization."""
+        return self.total_parameters() * bits_per_weight / 8
+
+    def kv_cache_bytes(self, seq_len: int, bits_per_value: int = 16) -> float:
+        """KV-cache footprint for ``seq_len`` cached tokens.
+
+        Two tensors (K and V) of ``kv_dim`` per token per layer.
+        """
+        if seq_len < 0:
+            raise ValueError(f"seq_len must be non-negative, got {seq_len}")
+        elements = 2 * self.num_layers * seq_len * self.kv_dim
+        return elements * bits_per_value / 8
+
+
+def _opt(name: str, layers: int, hidden: int, heads: int, vocab: int = 50272) -> ModelSpec:
+    return ModelSpec(
+        name=name,
+        family="opt",
+        num_layers=layers,
+        hidden_size=hidden,
+        num_heads=heads,
+        num_kv_heads=heads,
+        ffn_hidden_size=4 * hidden,
+        vocab_size=vocab,
+    )
+
+
+def _llama2(
+    name: str,
+    layers: int,
+    hidden: int,
+    heads: int,
+    kv_heads: int,
+    ffn: int,
+    vocab: int = 32000,
+) -> ModelSpec:
+    return ModelSpec(
+        name=name,
+        family="llama2",
+        num_layers=layers,
+        hidden_size=hidden,
+        num_heads=heads,
+        num_kv_heads=kv_heads,
+        ffn_hidden_size=ffn,
+        vocab_size=vocab,
+        max_seq_len=4096,
+    )
+
+
+#: All models evaluated in the paper, keyed by canonical name.
+MODEL_ZOO: Dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (
+        _opt("opt-6.7b", layers=32, hidden=4096, heads=32),
+        _opt("opt-13b", layers=40, hidden=5120, heads=40),
+        _opt("opt-30b", layers=48, hidden=7168, heads=56),
+        _opt("opt-66b", layers=64, hidden=9216, heads=72),
+        _llama2("llama2-7b", layers=32, hidden=4096, heads=32, kv_heads=32, ffn=11008),
+        _llama2("llama2-13b", layers=40, hidden=5120, heads=40, kv_heads=40, ffn=13824),
+        _llama2("llama2-70b", layers=80, hidden=8192, heads=64, kv_heads=8, ffn=28672),
+    )
+}
+
+#: Models used in the FlexGen comparison (Fig. 9a, 11, 12, 13, 14, 16).
+OPT_MODELS = ("opt-6.7b", "opt-13b", "opt-30b", "opt-66b")
+
+#: Models used in the MLC-LLM comparison (Fig. 9b, 11, 12, 13, 14, 16).
+LLAMA2_MODELS = ("llama2-7b", "llama2-13b", "llama2-70b")
+
+#: The seven-model order used on the x axis of most ablation figures.
+PAPER_MODEL_ORDER = OPT_MODELS + LLAMA2_MODELS
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model by name (case-insensitive).
+
+    Raises
+    ------
+    KeyError
+        If the model is not in the zoo; the message lists valid names.
+    """
+    key = name.lower()
+    if key not in MODEL_ZOO:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(sorted(MODEL_ZOO))}"
+        )
+    return MODEL_ZOO[key]
+
+
+def list_models() -> Tuple[str, ...]:
+    """Return the names of all models in the zoo, in paper order."""
+    return PAPER_MODEL_ORDER

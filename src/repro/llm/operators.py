@@ -1,0 +1,215 @@
+"""Operator-level description of a single decode step.
+
+The performance model in :mod:`repro.core` needs, for every operator in a
+decoder layer, three things:
+
+* how many arithmetic operations it performs,
+* how many bytes of **weights** it reads (the traffic that lives in flash),
+* how many bytes of **activations / KV cache** it touches (the traffic that
+  lives in DRAM or on-chip buffers).
+
+Each operator class below reports exactly that.  Operators also carry a
+``placement`` tag matching Fig. 5 of the paper: weight GeMVs are executed
+collaboratively by flash + NPU, KV-cache matrix ops by the NPU alone, and
+KV-cache loads by NPU + DRAM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Placement(enum.Enum):
+    """Hardware mapping of an operator (paper Fig. 5)."""
+
+    FLASH_AND_NPU = "flash+npu"   # weight GeMVs — split by the tiling strategy
+    NPU_ONLY = "npu"              # KV-cache matrix ops, SFU, elementwise
+    NPU_AND_DRAM = "npu+dram"     # KV-cache loads from DRAM
+
+
+@dataclass(frozen=True)
+class Operator:
+    """Base class for all decode-step operators.
+
+    Subclasses override the traffic/compute properties; the base class keeps
+    the bookkeeping fields every operator shares.
+    """
+
+    name: str
+    placement: Placement = field(default=Placement.NPU_ONLY)
+
+    @property
+    def ops(self) -> float:
+        """Arithmetic operations (multiply and add counted separately)."""
+        raise NotImplementedError
+
+    @property
+    def weight_bytes(self) -> float:
+        """Bytes of model weights this operator must read."""
+        return 0.0
+
+    @property
+    def activation_bytes(self) -> float:
+        """Bytes of activations read + written (excludes weights and KV)."""
+        return 0.0
+
+    @property
+    def kv_bytes(self) -> float:
+        """Bytes of KV cache read or written from DRAM."""
+        return 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        """All bytes moved by this operator."""
+        return self.weight_bytes + self.activation_bytes + self.kv_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Operations per byte moved."""
+        total = self.total_bytes
+        if total == 0:
+            return float("inf")
+        return self.ops / total
+
+
+@dataclass(frozen=True)
+class GeMVOp(Operator):
+    """General matrix–vector product ``y = W x`` against a *weight* matrix.
+
+    ``rows`` is the output dimension (height of W), ``cols`` the input
+    dimension.  ``batch_tokens`` > 1 models the prefill phase where the same
+    weights are reused across tokens (GeMM); the decode phase uses 1.
+    """
+
+    rows: int = 0
+    cols: int = 0
+    weight_bits: int = 8
+    activation_bits: int = 16
+    batch_tokens: int = 1
+    placement: Placement = field(default=Placement.FLASH_AND_NPU)
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError(
+                f"GeMV {self.name!r} needs positive dims, got {self.rows}x{self.cols}"
+            )
+        if self.batch_tokens <= 0:
+            raise ValueError("batch_tokens must be positive")
+
+    @property
+    def ops(self) -> float:
+        return 2.0 * self.rows * self.cols * self.batch_tokens
+
+    @property
+    def weight_bytes(self) -> float:
+        return self.rows * self.cols * self.weight_bits / 8
+
+    @property
+    def activation_bytes(self) -> float:
+        per_token = (self.cols + self.rows) * self.activation_bits / 8
+        return per_token * self.batch_tokens
+
+    @property
+    def weight_elements(self) -> int:
+        return self.rows * self.cols
+
+
+@dataclass(frozen=True)
+class AttentionScoreOp(Operator):
+    """Q·K^T score computation against the cached keys (``P = q K^T``).
+
+    Reads the K cache of ``seq_len`` tokens from DRAM; no model weights.
+    """
+
+    num_heads: int = 0
+    head_dim: int = 0
+    seq_len: int = 0
+    kv_bits: int = 16
+    activation_bits: int = 16
+    placement: Placement = field(default=Placement.NPU_AND_DRAM)
+
+    @property
+    def ops(self) -> float:
+        return 2.0 * self.num_heads * self.head_dim * self.seq_len
+
+    @property
+    def kv_bytes(self) -> float:
+        return self.num_heads * self.head_dim * self.seq_len * self.kv_bits / 8
+
+    @property
+    def activation_bytes(self) -> float:
+        q = self.num_heads * self.head_dim
+        scores = self.num_heads * self.seq_len
+        return (q + scores) * self.activation_bits / 8
+
+
+@dataclass(frozen=True)
+class AttentionValueOp(Operator):
+    """Weighted sum of cached values (``A = S V``).
+
+    Reads the V cache of ``seq_len`` tokens from DRAM; no model weights.
+    """
+
+    num_heads: int = 0
+    head_dim: int = 0
+    seq_len: int = 0
+    kv_bits: int = 16
+    activation_bits: int = 16
+    placement: Placement = field(default=Placement.NPU_AND_DRAM)
+
+    @property
+    def ops(self) -> float:
+        return 2.0 * self.num_heads * self.head_dim * self.seq_len
+
+    @property
+    def kv_bytes(self) -> float:
+        return self.num_heads * self.head_dim * self.seq_len * self.kv_bits / 8
+
+    @property
+    def activation_bytes(self) -> float:
+        scores = self.num_heads * self.seq_len
+        out = self.num_heads * self.head_dim
+        return (scores + out) * self.activation_bits / 8
+
+
+@dataclass(frozen=True)
+class SFUOp(Operator):
+    """Special-function work handled by the NPU's SFU (Softmax, RoPE, SiLU...).
+
+    ``elements`` is the vector length processed; ``ops_per_element`` is a
+    rough cost factor (exp + sum + div for softmax, sin/cos + rotate for
+    RoPE).  These ops are tiny compared with GeMVs but are serial points in
+    the layer dataflow, so the engine accounts for them explicitly.
+    """
+
+    elements: int = 0
+    ops_per_element: float = 4.0
+    activation_bits: int = 16
+    placement: Placement = field(default=Placement.NPU_ONLY)
+
+    @property
+    def ops(self) -> float:
+        return self.elements * self.ops_per_element
+
+    @property
+    def activation_bytes(self) -> float:
+        return 2 * self.elements * self.activation_bits / 8
+
+
+@dataclass(frozen=True)
+class ElementwiseOp(Operator):
+    """Element-wise vector op on the NPU (residual add, layernorm, gating)."""
+
+    elements: int = 0
+    ops_per_element: float = 2.0
+    activation_bits: int = 16
+    placement: Placement = field(default=Placement.NPU_ONLY)
+
+    @property
+    def ops(self) -> float:
+        return self.elements * self.ops_per_element
+
+    @property
+    def activation_bytes(self) -> float:
+        return 3 * self.elements * self.activation_bits / 8

@@ -1,0 +1,21 @@
+"""NPU substrate.
+
+The NPU side of the chiplet: a systolic array for matrix work, a Special
+Function Unit for softmax / activation / rotary functions, an LPDDR DRAM
+interface holding the KV cache, and the integrated flash controller that
+gives the NPU direct access to the flash chip (Fig. 4a).
+"""
+
+from repro.npu.systolic import SystolicArraySpec
+from repro.npu.sfu import SpecialFunctionUnitSpec
+from repro.npu.dram import DRAMSpec
+from repro.npu.buffers import BufferSpec
+from repro.npu.npu import NPUSpec
+
+__all__ = [
+    "SystolicArraySpec",
+    "SpecialFunctionUnitSpec",
+    "DRAMSpec",
+    "BufferSpec",
+    "NPUSpec",
+]

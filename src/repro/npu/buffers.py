@@ -1,0 +1,55 @@
+"""On-chip buffer model.
+
+The NPU buffers stage weight tiles arriving from flash and hold activation
+vectors between operators.  The paper notes (Section VIII-E) that scaling the
+number of flash channels requires proportionally larger NPU buffers — this
+module provides that sizing rule so the scalability study can report it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import KiB, MiB
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """NPU on-chip SRAM buffers.
+
+    Attributes
+    ----------
+    weight_buffer_bytes:
+        Staging buffer for weight pages streamed from flash (double-buffered
+        per channel).
+    activation_buffer_bytes:
+        Buffer for input/result vectors of the current operators.
+    """
+
+    weight_buffer_bytes: int = 2 * MiB
+    activation_buffer_bytes: int = 512 * KiB
+
+    def __post_init__(self) -> None:
+        if self.weight_buffer_bytes <= 0 or self.activation_buffer_bytes <= 0:
+            raise ValueError("buffer sizes must be positive")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.weight_buffer_bytes + self.activation_buffer_bytes
+
+    @staticmethod
+    def required_weight_buffer(channels: int, page_bytes: int, depth: int = 2) -> int:
+        """Weight buffer needed to double-buffer ``depth`` pages per channel.
+
+        This is the sizing rule behind the paper's remark that more channels
+        need a proportionally larger NPU buffer.
+        """
+        if channels <= 0 or page_bytes <= 0 or depth <= 0:
+            raise ValueError("channels, page_bytes and depth must be positive")
+        return channels * page_bytes * depth
+
+    def supports_channels(self, channels: int, page_bytes: int, depth: int = 2) -> bool:
+        """Whether the weight buffer can keep ``channels`` flash channels busy."""
+        return self.weight_buffer_bytes >= self.required_weight_buffer(
+            channels, page_bytes, depth
+        )

@@ -1,0 +1,55 @@
+"""LPDDR DRAM model.
+
+The DRAM in Cambricon-LLM is deliberately small: it only holds the KV cache
+and activations (Section IV-A), while the weights stay in flash.  Table II
+interfaces the NPU with LPDDR5X at roughly 40 GB/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import GB, GiB
+
+
+@dataclass(frozen=True)
+class DRAMSpec:
+    """Bandwidth/capacity description of the NPU-attached DRAM.
+
+    Attributes
+    ----------
+    bandwidth_bytes_per_s:
+        Sustained bandwidth available to the NPU (LPDDR5X ≈ 40 GB/s).
+    capacity_bytes:
+        DRAM capacity; 2 GB suffices for the KV cache of a 70B model
+        (Table V budgets exactly that).
+    efficiency:
+        Fraction of the peak bandwidth achievable for the streaming KV-cache
+        access pattern.
+    """
+
+    bandwidth_bytes_per_s: float = 40 * GB
+    capacity_bytes: float = 2 * GiB
+    efficiency: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        return self.bandwidth_bytes_per_s * self.efficiency
+
+    def transfer_seconds(self, num_bytes: float) -> float:
+        """Time to stream ``num_bytes`` from DRAM."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes / self.effective_bandwidth
+
+    def fits(self, num_bytes: float) -> bool:
+        """Whether a working set fits in the DRAM capacity."""
+        return num_bytes <= self.capacity_bytes

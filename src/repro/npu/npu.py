@@ -1,0 +1,64 @@
+"""Aggregate NPU model.
+
+Bundles the systolic array, SFU, DRAM interface and buffers, and provides the
+operator-level latency queries the inference engine needs (Fig. 5's "NPU
+only" and "NPU + DRAM" operator groups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.npu.buffers import BufferSpec
+from repro.npu.dram import DRAMSpec
+from repro.npu.sfu import SpecialFunctionUnitSpec
+from repro.npu.systolic import SystolicArraySpec
+
+
+@dataclass(frozen=True)
+class NPUSpec:
+    """The NPU chiplet: compute, special functions, DRAM and staging buffers."""
+
+    systolic: SystolicArraySpec = field(default_factory=SystolicArraySpec)
+    sfu: SpecialFunctionUnitSpec = field(default_factory=SpecialFunctionUnitSpec)
+    dram: DRAMSpec = field(default_factory=DRAMSpec)
+    buffers: BufferSpec = field(default_factory=BufferSpec)
+
+    @classmethod
+    def paper_default(cls) -> "NPUSpec":
+        """The Table-II NPU: 2 TOPS systolic array + ~40 GB/s LPDDR5X."""
+        return cls()
+
+    # -- latency queries -------------------------------------------------------
+    def gemv_compute_seconds(self, ops: float) -> float:
+        """Latency of GeMV arithmetic on the systolic array."""
+        return self.systolic.compute_seconds(ops)
+
+    def attention_seconds(self, kv_bytes: float, ops: float) -> float:
+        """Latency of attention against the KV cache.
+
+        Attention reads the cached K/V from DRAM and multiplies them on the
+        systolic array; the two overlap, so the slower one dominates.
+        """
+        if kv_bytes < 0 or ops < 0:
+            raise ValueError("kv_bytes and ops must be non-negative")
+        return max(self.dram.transfer_seconds(kv_bytes), self.systolic.compute_seconds(ops))
+
+    def sfu_seconds(self, elements: float, invocations: int = 1) -> float:
+        """Latency of special-function work (softmax, RoPE, activations)."""
+        return self.sfu.compute_seconds(elements, invocations)
+
+    def kv_cache_fits(self, kv_bytes: float) -> bool:
+        """Whether the KV cache fits in the NPU-attached DRAM."""
+        return self.dram.fits(kv_bytes)
+
+    def weight_stream_compute_seconds(self, weight_elements: float) -> float:
+        """Arithmetic latency of the NPU's share of the weight GeMVs.
+
+        Each streamed weight element contributes one multiply and one add.
+        Bandwidth (not this figure) is normally the limit; the engine takes
+        the max of the two.
+        """
+        if weight_elements < 0:
+            raise ValueError("weight_elements must be non-negative")
+        return self.systolic.compute_seconds(2.0 * weight_elements)

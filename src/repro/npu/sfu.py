@@ -1,0 +1,58 @@
+"""Special Function Unit model.
+
+The SFU handles the non-GeMV functions LLM decoding needs — Softmax, RoPE
+sin/cos, SiLU/ReLU — which the paper deliberately keeps out of the flash die
+(Section IV-A).  These operations are small but sit on the critical path
+between GeMV stages, so the engine charges their latency serially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SpecialFunctionUnitSpec:
+    """Throughput/latency description of the SFU.
+
+    Attributes
+    ----------
+    lanes:
+        Parallel function lanes.
+    clock_hz:
+        Operating frequency.
+    elements_per_lane_per_cycle:
+        Vector elements processed per lane per cycle (piecewise-linear
+        approximations evaluate one element per cycle per lane).
+    invoke_overhead_s:
+        Fixed start-up cost per SFU invocation (pipeline configuration).
+    """
+
+    lanes: int = 16
+    clock_hz: float = 1e9
+    elements_per_lane_per_cycle: float = 1.0
+    invoke_overhead_s: float = 0.5e-6
+
+    def __post_init__(self) -> None:
+        if self.lanes <= 0:
+            raise ValueError("lanes must be positive")
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        if self.elements_per_lane_per_cycle <= 0:
+            raise ValueError("elements_per_lane_per_cycle must be positive")
+        if self.invoke_overhead_s < 0:
+            raise ValueError("invoke_overhead_s must be non-negative")
+
+    @property
+    def elements_per_second(self) -> float:
+        return self.lanes * self.clock_hz * self.elements_per_lane_per_cycle
+
+    def compute_seconds(self, elements: float, invocations: int = 1) -> float:
+        """Latency to run ``elements`` through the SFU in ``invocations`` calls."""
+        if elements < 0:
+            raise ValueError("elements must be non-negative")
+        if invocations < 0:
+            raise ValueError("invocations must be non-negative")
+        if elements == 0:
+            return invocations * self.invoke_overhead_s
+        return elements / self.elements_per_second + invocations * self.invoke_overhead_s

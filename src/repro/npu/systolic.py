@@ -1,0 +1,74 @@
+"""Systolic-array compute model.
+
+The paper's NPU uses a 16x16 systolic array delivering 2 TOPS at 1 GHz
+(Section VII-A).  During single-batch decode the array is almost never the
+bottleneck — weight delivery is — but the model still accounts for its
+latency so compute-bound corner cases (prefill, tiny models, huge arrays)
+behave correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SystolicArraySpec:
+    """Parametric description of the NPU's matrix engine.
+
+    Attributes
+    ----------
+    rows / cols:
+        Physical PE grid dimensions.
+    clock_hz:
+        Operating frequency.
+    macs_per_pe:
+        MAC operations each PE completes per cycle (INT8).  The paper default
+        of 4 gives 16 * 16 * 4 * 2 ops = 2 TOPS at 1 GHz.
+    utilization:
+        Achievable fraction of peak for GeMV-shaped work, accounting for
+        drain/fill and edge effects.
+    """
+
+    rows: int = 16
+    cols: int = 16
+    clock_hz: float = 1e9
+    macs_per_pe: int = 4
+    utilization: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        if self.macs_per_pe <= 0:
+            raise ValueError("macs_per_pe must be positive")
+        if not 0.0 < self.utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+
+    @classmethod
+    def paper_default(cls) -> "SystolicArraySpec":
+        """The 2 TOPS / 1 GHz configuration of Table-II's NPU."""
+        return cls()
+
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def peak_ops_per_second(self) -> float:
+        """Peak INT8 ops/s (a multiply and an add per MAC per cycle)."""
+        return 2.0 * self.num_pes * self.macs_per_pe * self.clock_hz
+
+    @property
+    def effective_ops_per_second(self) -> float:
+        """Sustained ops/s after the GeMV utilization derating."""
+        return self.peak_ops_per_second * self.utilization
+
+    def compute_seconds(self, ops: float) -> float:
+        """Latency to execute ``ops`` arithmetic operations."""
+        if ops < 0:
+            raise ValueError("ops must be non-negative")
+        if ops == 0:
+            return 0.0
+        return ops / self.effective_ops_per_second

@@ -1,0 +1,33 @@
+"""Quantization substrate.
+
+The paper's default operating point is W8A8 (SmoothQuant-style offline INT8
+weights and activations); Fig. 11 additionally evaluates W4A16, and the
+MLC-LLM baseline uses 4-bit round-to-nearest weights.  This package provides
+
+* the :class:`repro.quant.schemes.QuantScheme` descriptions used by the
+  performance model, and
+* actual numpy tensor quantization used by the accuracy / ECC studies,
+  including the outlier statistics that motivate the on-die ECC design.
+"""
+
+from repro.quant.schemes import (
+    W4A16,
+    W4_RTN,
+    W8A8,
+    QuantScheme,
+    dequantize_tensor,
+    quantize_tensor,
+)
+from repro.quant.outliers import OutlierStats, find_outliers, outlier_threshold
+
+__all__ = [
+    "QuantScheme",
+    "W8A8",
+    "W4A16",
+    "W4_RTN",
+    "quantize_tensor",
+    "dequantize_tensor",
+    "OutlierStats",
+    "find_outliers",
+    "outlier_threshold",
+]

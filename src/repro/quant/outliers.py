@@ -1,0 +1,81 @@
+"""Weight-outlier statistics.
+
+The on-die ECC (Section VI) protects the top ~1 % largest-magnitude values of
+every page and uses the smallest protected magnitude as a threshold to detect
+bit flips that would turn a normal value into a fake outlier.  This module
+computes those statistics on real tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OutlierStats:
+    """Outlier summary of a weight page (or any tensor)."""
+
+    indices: np.ndarray
+    values: np.ndarray
+    threshold: int
+    fraction: float
+
+    @property
+    def count(self) -> int:
+        return int(self.indices.size)
+
+
+def outlier_count(num_elements: int, fraction: float) -> int:
+    """Number of protected values for a page of ``num_elements`` weights."""
+    if num_elements <= 0:
+        raise ValueError("num_elements must be positive")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    return max(1, int(ceil(num_elements * fraction)))
+
+
+def find_outliers(codes: np.ndarray, fraction: float = 0.01) -> OutlierStats:
+    """Locate the top ``fraction`` largest-magnitude values of a quantized page.
+
+    Ties at the threshold magnitude are broken by index order so the selection
+    is deterministic (encode and decode must agree on it).
+    """
+    flat = np.asarray(codes).reshape(-1)
+    count = outlier_count(flat.size, fraction)
+    magnitudes = np.abs(flat.astype(np.int16))
+    # argsort is stable, so equal magnitudes keep ascending index order.
+    order = np.argsort(-magnitudes, kind="stable")
+    chosen = np.sort(order[:count])
+    values = flat[chosen]
+    threshold = int(np.min(np.abs(values.astype(np.int16))))
+    return OutlierStats(
+        indices=chosen.astype(np.int64),
+        values=values.copy(),
+        threshold=threshold,
+        fraction=fraction,
+    )
+
+
+def outlier_threshold(codes: np.ndarray, fraction: float = 0.01) -> int:
+    """The smallest protected magnitude — the ECC's fake-outlier threshold."""
+    return find_outliers(codes, fraction).threshold
+
+
+def outlier_mass_fraction(values: np.ndarray, fraction: float = 0.01) -> float:
+    """Fraction of the tensor's L2 mass carried by the top-``fraction`` values.
+
+    Used by the examples to show that LLM-like weight distributions put a
+    large share of their energy into very few elements.
+    """
+    flat = np.abs(np.asarray(values, dtype=np.float64).reshape(-1))
+    if flat.size == 0:
+        raise ValueError("values must not be empty")
+    count = outlier_count(flat.size, fraction)
+    top = np.sort(flat)[-count:]
+    total = float(np.sum(flat**2))
+    if total == 0:
+        return 0.0
+    return float(np.sum(top**2) / total)

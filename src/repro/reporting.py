@@ -1,0 +1,49 @@
+"""Small helpers to print paper-style tables from benchmark runs."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table.
+
+    Numeric cells are formatted with a sensible precision; everything else is
+    converted with ``str``.  Used by the benchmark harness so each bench
+    prints the same rows/series the paper's figure or table reports.
+    """
+    rendered_rows: List[List[str]] = [[_format_cell(cell) for cell in row] for row in rows]
+    rendered_headers = [str(h) for h in headers]
+    widths = [len(h) for h in rendered_headers]
+    for row in rendered_rows:
+        if len(row) != len(rendered_headers):
+            raise ValueError("row length does not match header length")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    separator = "  ".join("-" * width for width in widths)
+    lines = [render_line(rendered_headers), separator]
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print a titled table (benchmarks call this to mirror a paper figure)."""
+    print(f"\n=== {title} ===")
+    print(format_table(headers, rows))
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 1000 or magnitude < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,64 @@
+"""Common units and conversion helpers used across the simulator.
+
+All internal timing is in **seconds**, all sizes in **bytes**, all rates in
+**bytes per second** (or operations per second) unless the name says
+otherwise.  Keeping a single convention avoids the classic unit bugs of
+architecture models, and these constants make call sites self-describing::
+
+    t_read = 30 * US
+    bandwidth = 1 * GB_PER_S
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Sizes (binary multiples, as used for memories and flash pages).
+# ---------------------------------------------------------------------------
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+# Decimal multiples (as used for interface bandwidths and vendor capacities).
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+TB = 1000 * GB
+
+# ---------------------------------------------------------------------------
+# Time.
+# ---------------------------------------------------------------------------
+S = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+
+# ---------------------------------------------------------------------------
+# Rates.
+# ---------------------------------------------------------------------------
+GB_PER_S = GB
+MB_PER_S = MB
+TOPS = 1e12
+GOPS = 1e9
+
+BITS_PER_BYTE = 8
+
+
+def bytes_per_element(bits: int) -> float:
+    """Return the storage footprint in bytes of one element of ``bits`` width.
+
+    Sub-byte widths (e.g. 4-bit weights) return fractional bytes, which is the
+    correct accounting for densely packed weight pages.
+    """
+    if bits <= 0:
+        raise ValueError(f"element width must be positive, got {bits}")
+    return bits / BITS_PER_BYTE
+
+
+def to_tokens_per_second(seconds_per_token: float) -> float:
+    """Convert a per-token latency into decode throughput (tokens/s)."""
+    if seconds_per_token <= 0:
+        raise ValueError(
+            f"seconds_per_token must be positive, got {seconds_per_token}"
+        )
+    return 1.0 / seconds_per_token

@@ -1,0 +1,72 @@
+"""Tests for the FlexGen and MLC-LLM baseline models."""
+
+import pytest
+
+from repro.baselines import FlexGenDRAM, FlexGenSSD, MLCLLM, OffloadingBaseline
+from repro.core import InferenceEngine, cambricon_llm_l, cambricon_llm_s
+
+
+def test_flexgen_ssd_matches_paper_order_of_magnitude():
+    """Fig. 9a: OPT-6.7B ≈ 0.8 token/s, OPT-66B ≈ 0.1 token/s on the SSD path."""
+    ssd = FlexGenSSD()
+    assert ssd.decode_speed("opt-6.7b") == pytest.approx(0.8, rel=0.3)
+    assert ssd.decode_speed("opt-66b") == pytest.approx(0.1, rel=0.5)
+
+
+def test_flexgen_dram_is_faster_than_ssd_but_far_from_cambricon_l():
+    dram, ssd = FlexGenDRAM(), FlexGenSSD()
+    for model in ("opt-6.7b", "opt-30b"):
+        assert dram.decode_speed(model) > 3 * ssd.decode_speed(model)
+
+
+def test_paper_headline_speedups_over_flexgen_ssd():
+    """Abstract / Section VIII-A: Cam-LLM-L is 22x-45x faster than FlexGen-SSD."""
+    engine = InferenceEngine(cambricon_llm_l())
+    ssd = FlexGenSSD()
+    small_speedup = engine.decode_speed("opt-6.7b") / ssd.decode_speed("opt-6.7b")
+    large_speedup = engine.decode_speed("opt-66b") / ssd.decode_speed("opt-66b")
+    assert 20 <= small_speedup <= 70
+    assert 15 <= large_speedup <= 70
+
+
+def test_cambricon_s_clearly_beats_flexgen_ssd():
+    """Section VIII-A claims 8.9x for Cam-LLM-S on OPT-6.7B; the ratio of the
+    paper's own Fig. 9a bars (3.56 / 0.8) is ~4.5x, which is what this model
+    reproduces."""
+    ratio = InferenceEngine(cambricon_llm_s()).decode_speed("opt-6.7b") / FlexGenSSD().decode_speed("opt-6.7b")
+    assert 3 <= ratio <= 14
+
+
+def test_mlc_llm_runs_7b_but_ooms_on_13b_and_70b():
+    """Fig. 9b: MLC-LLM handles Llama2-7B (~7.6 token/s) and OOMs beyond."""
+    mlc = MLCLLM()
+    seven_b = mlc.decode_result("llama2-7b")
+    assert seven_b.supported
+    assert seven_b.tokens_per_second == pytest.approx(7.58, rel=0.25)
+    assert mlc.decode_result("llama2-13b").out_of_memory
+    assert mlc.decode_result("llama2-70b").out_of_memory
+    assert mlc.decode_speed("llama2-70b") == 0.0
+
+
+def test_mlc_llm_faster_than_cambricon_s_on_7b_due_to_4bit():
+    """Fig. 9b discussion: 4-bit MLC-LLM beats the 8-bit Cam-LLM-S on 7B."""
+    mlc = MLCLLM().decode_speed("llama2-7b")
+    cam_s = InferenceEngine(cambricon_llm_s()).decode_speed("llama2-7b")
+    assert mlc > cam_s
+
+
+def test_flexgen_traffic_multiplier_reports_triple_weights():
+    """Fig. 16a: FlexGen-SSD moves ~3x the model size per token."""
+    result = FlexGenSSD().decode_result("opt-6.7b")
+    workload = FlexGenSSD().workload("opt-6.7b")
+    assert result.transfer_bytes_per_token == pytest.approx(
+        3 * workload.gemv_weight_bytes + workload.kv_cache_bytes
+    )
+
+
+def test_generic_baseline_reports_bottleneck():
+    slow_compute = OffloadingBaseline(
+        name="toy", weight_bits=8, offload_bandwidth=1e12, compute_bandwidth=1e9
+    )
+    result = slow_compute.decode_result("opt-6.7b")
+    assert result.bottleneck == "compute-memory-bandwidth"

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    InferenceEngine,
+    cambricon_llm_l,
+    cambricon_llm_m,
+    cambricon_llm_s,
+)
+from repro.flash import FlashGeometry, FlashTiming
+from repro.llm import DecodeWorkload, get_model
+
+
+@pytest.fixture
+def config_s():
+    """Cambricon-LLM-S (Table II)."""
+    return cambricon_llm_s()
+
+
+@pytest.fixture
+def config_m():
+    """Cambricon-LLM-M (Table II)."""
+    return cambricon_llm_m()
+
+
+@pytest.fixture
+def config_l():
+    """Cambricon-LLM-L (Table II)."""
+    return cambricon_llm_l()
+
+
+@pytest.fixture
+def engine_s(config_s):
+    return InferenceEngine(config_s)
+
+
+@pytest.fixture
+def engine_l(config_l):
+    return InferenceEngine(config_l)
+
+
+@pytest.fixture
+def geometry_s():
+    """Flash geometry of the S configuration."""
+    return FlashGeometry(channels=8, chips_per_channel=2)
+
+
+@pytest.fixture
+def timing():
+    """Table-II flash timing (tR = 30 us, 1 GB/s channels)."""
+    return FlashTiming()
+
+
+@pytest.fixture
+def opt_6_7b():
+    return get_model("opt-6.7b")
+
+
+@pytest.fixture
+def llama2_70b():
+    return get_model("llama2-70b")
+
+
+@pytest.fixture
+def decode_workload_6_7b(opt_6_7b):
+    """Default W8A8 decode workload of OPT-6.7B with a 1000-token cache."""
+    return DecodeWorkload(opt_6_7b, seq_len=1000)

@@ -1,0 +1,57 @@
+"""Tests for the Table-II configurations."""
+
+import pytest
+
+from repro.core.config import (
+    all_paper_configs,
+    cambricon_llm_l,
+    cambricon_llm_m,
+    cambricon_llm_s,
+    get_config,
+)
+from repro.flash.slicing import SlicePolicy
+
+
+def test_table2_channel_and_chip_counts():
+    assert (cambricon_llm_s().flash.channels, cambricon_llm_s().flash.chips_per_channel) == (8, 2)
+    assert (cambricon_llm_m().flash.channels, cambricon_llm_m().flash.chips_per_channel) == (16, 4)
+    assert (cambricon_llm_l().flash.channels, cambricon_llm_l().flash.chips_per_channel) == (32, 8)
+
+
+def test_shared_per_die_organisation():
+    for config in all_paper_configs().values():
+        assert config.flash.dies_per_chip == 2
+        assert config.flash.planes_per_die == 2
+        assert config.flash.compute_cores_per_die == 1
+        assert config.flash.page_bytes == 16 * 1024
+        assert config.timing.read_us == 30.0
+        assert config.weight_bits == 8
+
+
+def test_lookup_by_short_and_full_name():
+    assert get_config("s").name == "Cambricon-LLM-S"
+    assert get_config("Cambricon-LLM-L").flash.channels == 32
+    with pytest.raises(KeyError):
+        get_config("xl")
+
+
+def test_with_quantization_returns_modified_copy():
+    base = cambricon_llm_s()
+    w4a16 = base.with_quantization(4, 16)
+    assert (w4a16.weight_bits, w4a16.activation_bits) == (4, 16)
+    assert (base.weight_bits, base.activation_bits) == (8, 8)
+    assert w4a16.flash is base.flash
+
+
+def test_with_slice_policy_returns_modified_copy():
+    base = cambricon_llm_s()
+    unsliced = base.with_slice_policy(SlicePolicy.UNSLICED)
+    assert unsliced.slice_control.policy is SlicePolicy.UNSLICED
+    assert base.slice_control.policy is SlicePolicy.SLICED
+
+
+def test_with_flash_scale_for_scalability_sweeps():
+    scaled = cambricon_llm_s().with_flash_scale(channels=64, chips_per_channel=4)
+    assert scaled.flash.channels == 64
+    assert scaled.flash.chips_per_channel == 4
+    assert scaled.flash.dies_per_chip == 2

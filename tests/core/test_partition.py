@@ -1,0 +1,80 @@
+"""Tests for the flash/NPU workload split (Section V-B)."""
+
+import pytest
+
+from repro.core.partition import WorkloadPartition
+from repro.core.tiling import TileShape, TilingStrategy
+from repro.flash.analytical import FlashSteadyStateModel
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FlashTiming
+from repro.units import US
+
+
+def partition_for(channels=8, chips=2, tile=None, core_utilization=1.0):
+    geometry = FlashGeometry(channels=channels, chips_per_channel=chips)
+    model = FlashSteadyStateModel(geometry=geometry, timing=FlashTiming())
+    if tile is None:
+        tile = TilingStrategy(geometry).optimal_tile()
+    return WorkloadPartition(flash_model=model, tile=tile, core_utilization=core_utilization)
+
+
+def test_read_compute_latency_close_to_page_read_time():
+    partition = partition_for()
+    t_rc = partition.read_compute_latency()
+    assert 30 * US < t_rc < 32 * US
+
+
+def test_read_latency_close_to_page_transfer_time():
+    partition = partition_for()
+    t_r = partition.read_latency()
+    assert 16e-6 < t_r < 18e-6
+
+
+def test_paper_alpha_formula_is_between_zero_and_one():
+    partition = partition_for()
+    alpha = partition.alpha_paper_formula()
+    assert 0.0 < alpha < 1.0
+
+
+def test_balanced_alpha_equalises_pipe_times():
+    """With the balanced split both pipes finish a layer at the same time."""
+    partition = partition_for()
+    alpha = partition.alpha()
+    weight_bytes = 200e6
+    flash_time = alpha * weight_bytes / partition.flash_rate()
+    stream_time = (1 - alpha) * weight_bytes / partition.stream_rate()
+    assert flash_time == pytest.approx(stream_time, rel=1e-6)
+
+
+def test_s_configuration_sends_roughly_two_thirds_to_flash():
+    """For Cam-LLM-S the flash pipe is ~2.3x faster than the stream pipe."""
+    alpha = partition_for().alpha()
+    assert 0.6 < alpha < 0.8
+
+
+def test_more_compute_cores_shift_work_towards_flash():
+    small = partition_for(channels=8, chips=2).alpha()
+    large = partition_for(channels=8, chips=8).alpha()
+    assert large > small
+
+
+def test_split_bytes_sums_to_total():
+    partition = partition_for()
+    flash_bytes, stream_bytes = partition.split_bytes(1e9)
+    assert flash_bytes + stream_bytes == pytest.approx(1e9)
+    assert flash_bytes > stream_bytes
+    with pytest.raises(ValueError):
+        partition.split_bytes(-1)
+
+
+def test_core_utilization_lowers_alpha():
+    full = partition_for(core_utilization=1.0).alpha()
+    degraded = partition_for(core_utilization=0.25).alpha()
+    assert degraded < full
+
+
+def test_combined_rate_is_sum_of_pipes():
+    partition = partition_for()
+    assert partition.combined_rate() == pytest.approx(
+        partition.flash_rate() + partition.stream_rate()
+    )

@@ -1,0 +1,73 @@
+"""Tests for the storage-density, area/power and bill-of-materials models."""
+
+import pytest
+
+from repro.cost.area import ComputeCoreAreaModel, PAPER_TABLE_IV
+from repro.cost.bom import BillOfMaterials, SystemCost, chiplet_packaging_bound
+from repro.cost.density import STORAGE_DENSITY_TABLE, density_advantage
+
+
+# -- Table I -----------------------------------------------------------------
+def test_density_table_matches_paper_rows():
+    assert len(STORAGE_DENSITY_TABLE) == 4
+    flash_densities = [e.density_gbit_per_mm2 for e in STORAGE_DENSITY_TABLE if e.memory_type == "Flash"]
+    assert max(flash_densities) == pytest.approx(28.5)
+
+
+def test_flash_density_advantage_is_two_orders_of_magnitude():
+    assert 60 <= density_advantage() <= 120
+
+
+def test_200gb_flash_fits_in_soc_scale_area():
+    """Section III-B: ~200 GB of NAND occupies roughly 64 mm^2."""
+    best_flash = max(
+        (e for e in STORAGE_DENSITY_TABLE if e.memory_type == "Flash"),
+        key=lambda e: e.density_gbit_per_mm2,
+    )
+    area = best_flash.area_mm2_for_bytes(200e9)
+    assert 40 <= area <= 100
+
+
+# -- Table IV -----------------------------------------------------------------
+def test_compute_core_overheads_match_paper():
+    model = ComputeCoreAreaModel()
+    assert model.total_area_um2 () == pytest.approx(
+        sum(e.area_um2 for e in PAPER_TABLE_IV), rel=1e-6
+    )
+    assert model.die_area_overhead() == pytest.approx(0.018, abs=0.01)
+    assert model.die_power_overhead() == pytest.approx(0.045, abs=0.01)
+
+
+def test_buffers_dominate_compute_core_area():
+    components = ComputeCoreAreaModel().components()
+    assert components["buffers"].area_um2 > 10 * components["pes"].area_um2
+    assert components["ecu"].area_um2 < 0.02 * components["buffers"].area_um2
+
+
+def test_area_scales_with_macs_and_buffer_size():
+    base = ComputeCoreAreaModel()
+    bigger = ComputeCoreAreaModel(macs=4, buffer_bytes=4096)
+    assert bigger.total_area_um2() > base.total_area_um2()
+    assert bigger.die_power_overhead() > base.die_power_overhead()
+
+
+# -- Table V --------------------------------------------------------------------
+def test_table5_costs_reproduced():
+    bom = BillOfMaterials(weight_gb=80, kv_cache_gb=2)
+    cambricon = bom.cambricon_llm()
+    traditional = bom.traditional()
+    assert cambricon.total_cost == pytest.approx(43.67, abs=0.5)
+    assert traditional.total_cost == pytest.approx(194.68, abs=0.5)
+    # Table V quotes $150.01; the difference of its own totals is $151.01.
+    assert bom.savings() == pytest.approx(151.01, abs=1.0)
+
+
+def test_chiplet_packaging_bound_below_100_dollars():
+    assert chiplet_packaging_bound(600.0) <= 100.0
+    with pytest.raises(ValueError):
+        chiplet_packaging_bound(-1.0)
+
+
+def test_system_cost_validation():
+    with pytest.raises(ValueError):
+        SystemCost(name="bad", dram_gb=-1, flash_gb=0)

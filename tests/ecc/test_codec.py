@@ -1,0 +1,141 @@
+"""Tests for the outlier ECC page codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc.codec import PageCodec
+from repro.ecc.errors import BitFlipErrorModel
+
+
+def make_page(rng, elements=16384, outliers=150, outlier_magnitude=100):
+    """A synthetic page: small Gaussian codes plus a few large outliers."""
+    page = np.clip(rng.normal(scale=6.0, size=elements), -40, 40).astype(np.int8)
+    positions = rng.choice(elements, size=outliers, replace=False)
+    signs = rng.choice([-1, 1], size=outliers)
+    page[positions] = (signs * outlier_magnitude).astype(np.int8)
+    return page, positions
+
+
+def test_encode_protects_the_paper_number_of_values():
+    rng = np.random.default_rng(0)
+    page, _ = make_page(rng)
+    codec = PageCodec()
+    ecc = codec.encode(page)
+    assert 163 <= ecc.count <= 164
+    # Section VI: total ECC is ~722 B for a 16 KB page, within the 1664 B spare.
+    assert 700 <= ecc.storage_bytes() <= 740
+    assert ecc.storage_bytes() < 1664
+
+
+def test_clean_page_roundtrips_unchanged():
+    rng = np.random.default_rng(1)
+    page, _ = make_page(rng)
+    codec = PageCodec()
+    corrected = codec.correct(page.copy(), codec.encode(page))
+    assert np.array_equal(corrected, page)
+
+
+def test_corrupted_outlier_is_recovered_by_majority_vote():
+    rng = np.random.default_rng(2)
+    page, positions = make_page(rng)
+    codec = PageCodec()
+    ecc = codec.encode(page)
+    corrupted = page.copy()
+    victim = positions[0]
+    corrupted[victim] = 3  # outlier destroyed by bit flips
+    corrected = codec.correct(corrupted, ecc)
+    assert corrected[victim] == page[victim]
+
+
+def test_fake_outlier_is_clamped_to_zero():
+    """A normal value flipped above the threshold must be zeroed (Section VI)."""
+    rng = np.random.default_rng(3)
+    page, _ = make_page(rng)
+    codec = PageCodec()
+    ecc = codec.encode(page)
+    corrupted = page.copy()
+    normal_positions = np.where(np.abs(page.astype(np.int16)) < 40)[0]
+    victim = normal_positions[0]
+    corrupted[victim] = 127  # bit flip created a fake outlier
+    corrected = codec.correct(corrupted, ecc)
+    assert corrected[victim] == 0
+
+
+def test_small_value_corruption_below_threshold_is_not_corrected():
+    """The ECC deliberately leaves sub-threshold perturbations alone."""
+    rng = np.random.default_rng(4)
+    page, _ = make_page(rng)
+    codec = PageCodec()
+    ecc = codec.encode(page)
+    threshold = int(np.min(np.abs(ecc.value_copies[0].view(np.int8).astype(np.int16))))
+    corrupted = page.copy()
+    normal_positions = np.where(np.abs(page.astype(np.int16)) < threshold // 2)[0]
+    victim = normal_positions[0]
+    new_value = np.int8(threshold - 1)  # perturbed but still below the threshold
+    corrupted[victim] = new_value
+    corrected = codec.correct(corrupted, ecc)
+    assert corrected[victim] == new_value
+
+
+def test_correction_reduces_weight_error_at_realistic_rates():
+    """End-to-end: ECC lowers the L2 error of a corrupted page."""
+    rng = np.random.default_rng(5)
+    page, _ = make_page(rng)
+    codec = PageCodec()
+    ecc = codec.encode(page)
+    corrupted = BitFlipErrorModel(2e-3, seed=9).inject_bytes(page)
+    corrected = codec.correct(corrupted, ecc)
+    error_before = np.sum((corrupted.astype(np.int32) - page) ** 2)
+    error_after = np.sum((corrected.astype(np.int32) - page) ** 2)
+    assert error_after < 0.5 * error_before
+
+
+def test_corrupted_ecc_block_still_decodes_threshold_by_vote():
+    rng = np.random.default_rng(6)
+    page, _ = make_page(rng)
+    codec = PageCodec()
+    ecc = codec.encode(page)
+    noisy_ecc = codec.corrupt_ecc(ecc, BitFlipErrorModel(1e-3, seed=11))
+    corrected = codec.correct(page.copy(), noisy_ecc)
+    # With a clean page and a lightly corrupted ECC, almost nothing changes.
+    assert np.mean(corrected != page) < 0.01
+
+
+def test_entries_expose_stored_addresses():
+    rng = np.random.default_rng(7)
+    page, _ = make_page(rng)
+    codec = PageCodec()
+    entries = codec.encode(page).entries()
+    assert len(entries) == codec.encode(page).count
+    for entry in entries[:10]:
+        assert 0 <= entry.address < 16384
+        assert entry.copy1 == entry.copy2 == int(page[entry.address])
+
+
+def test_invalid_pages_and_parameters_rejected():
+    codec = PageCodec()
+    with pytest.raises(TypeError):
+        codec.encode(np.zeros(16384, dtype=np.float32))
+    with pytest.raises(ValueError):
+        codec.encode(np.zeros(100, dtype=np.int8))
+    with pytest.raises(ValueError):
+        PageCodec(page_elements=1 << 20, address_bits=14)
+    with pytest.raises(ValueError):
+        PageCodec(threshold_copies=2)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_protected_values_survive_any_single_value_corruption(seed):
+    """Property: any one protected value corrupted in-page is fully restored."""
+    rng = np.random.default_rng(seed)
+    page, positions = make_page(rng, elements=2048, outliers=20)
+    codec = PageCodec(page_elements=2048, protect_fraction=0.01)
+    ecc = codec.encode(page)
+    protected_addresses = [entry.address for entry in ecc.entries()]
+    victim = protected_addresses[seed % len(protected_addresses)]
+    corrupted = page.copy()
+    corrupted[victim] = np.int8((int(page[victim]) + 64) % 127)
+    corrected = codec.correct(corrupted, ecc)
+    assert corrected[victim] == page[victim]

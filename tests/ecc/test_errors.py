@@ -1,0 +1,57 @@
+"""Tests for the bit-flip error model."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.errors import BitFlipErrorModel
+
+
+def test_zero_rate_changes_nothing():
+    data = np.arange(-64, 64, dtype=np.int8)
+    model = BitFlipErrorModel(0.0, seed=1)
+    assert np.array_equal(model.inject_bytes(data), data)
+
+
+def test_injection_is_reproducible_with_same_seed():
+    data = np.zeros(4096, dtype=np.int8)
+    first = BitFlipErrorModel(1e-3, seed=42).inject_bytes(data)
+    second = BitFlipErrorModel(1e-3, seed=42).inject_bytes(data)
+    assert np.array_equal(first, second)
+
+
+def test_flip_count_close_to_expectation():
+    data = np.zeros(1 << 16, dtype=np.int8)
+    rate = 1e-3
+    model = BitFlipErrorModel(rate, seed=7)
+    corrupted = model.inject_bytes(data)
+    flipped_bits = np.unpackbits(corrupted.view(np.uint8)).sum()
+    expected = model.expected_flips(data.size)
+    assert expected * 0.7 < flipped_bits < expected * 1.3
+
+
+def test_original_array_is_not_mutated():
+    data = np.zeros(1024, dtype=np.int8)
+    BitFlipErrorModel(0.05, seed=3).inject_bytes(data)
+    assert np.count_nonzero(data) == 0
+
+
+def test_rate_one_flips_every_bit():
+    data = np.zeros(64, dtype=np.uint8)
+    corrupted = BitFlipErrorModel(1.0, seed=0).inject_bytes(data)
+    assert np.all(corrupted == 0xFF)
+
+
+def test_wider_integer_types_supported():
+    data = np.zeros(256, dtype=np.uint32)
+    corrupted = BitFlipErrorModel(0.01, seed=5).inject_bytes(data)
+    assert corrupted.dtype == np.uint32
+    assert np.count_nonzero(corrupted) > 0
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ValueError):
+        BitFlipErrorModel(1.5)
+    with pytest.raises(TypeError):
+        BitFlipErrorModel(0.1).inject_bytes(np.zeros(4, dtype=np.float32))
+    with pytest.raises(ValueError):
+        BitFlipErrorModel(0.1).expected_flips(-1)

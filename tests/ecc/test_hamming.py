@@ -1,0 +1,70 @@
+"""Tests for the Hamming address protection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ecc.hamming import hamming_decode, hamming_encode, hamming_parity_bits
+
+
+def test_14_bit_addresses_need_5_parity_bits():
+    """Section VI: each 14-bit address carries a 5-bit private code."""
+    assert hamming_parity_bits(14) == 5
+
+
+def test_roundtrip_without_errors():
+    for value in (0, 1, 163, 2**14 - 1):
+        decoded, corrected, ok = hamming_decode(hamming_encode(value))
+        assert decoded == value
+        assert not corrected
+        assert ok
+
+
+def test_single_bit_error_corrected():
+    value = 0x2A5B & 0x3FFF
+    codeword = hamming_encode(value)
+    for bit in range(19):
+        corrupted = codeword ^ (1 << bit)
+        decoded, corrected, ok = hamming_decode(corrupted)
+        assert ok
+        assert corrected
+        assert decoded == value
+
+
+def test_out_of_range_values_rejected():
+    with pytest.raises(ValueError):
+        hamming_encode(1 << 14)
+    with pytest.raises(ValueError):
+        hamming_encode(-1)
+    with pytest.raises(ValueError):
+        hamming_decode(1 << 19)
+    with pytest.raises(ValueError):
+        hamming_parity_bits(0)
+
+
+@given(value=st.integers(min_value=0, max_value=(1 << 14) - 1))
+def test_roundtrip_property(value):
+    decoded, corrected, ok = hamming_decode(hamming_encode(value))
+    assert (decoded, corrected, ok) == (value, False, True)
+
+
+@given(
+    value=st.integers(min_value=0, max_value=(1 << 14) - 1),
+    bit=st.integers(min_value=0, max_value=18),
+)
+def test_single_error_correction_property(value, bit):
+    corrupted = hamming_encode(value) ^ (1 << bit)
+    decoded, corrected, ok = hamming_decode(corrupted)
+    assert ok and corrected and decoded == value
+
+
+@given(
+    value=st.integers(min_value=0, max_value=(1 << 14) - 1),
+    bits=st.sets(st.integers(min_value=0, max_value=18), min_size=2, max_size=2),
+)
+def test_double_errors_never_silently_return_wrong_then_claim_no_error(value, bits):
+    """Two-bit errors either miscorrect (flagged corrected) or fail — never pass clean."""
+    corrupted = hamming_encode(value)
+    for bit in bits:
+        corrupted ^= 1 << bit
+    decoded, corrected, ok = hamming_decode(corrupted)
+    assert corrected or not ok

@@ -1,0 +1,75 @@
+"""Tests for the page layout and the analytical protection model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ecc.analysis import protected_flip_rate, protection_gain, tolerable_raw_rate
+from repro.ecc.page_layout import PageLayout
+
+
+# -- page layout ---------------------------------------------------------------
+def test_paper_layout_numbers():
+    """Section VI: 163 protected values, 722 B of ECC, fits in the 1664 B spare."""
+    layout = PageLayout()
+    assert layout.elements_per_page == 16384
+    assert layout.address_bits == 14
+    assert 163 <= layout.protected_per_page <= 164
+    assert 715 <= layout.ecc_bytes <= 735
+    assert layout.fits_in_spare()
+
+
+def test_layout_codec_matches_geometry():
+    codec = PageLayout().codec()
+    assert codec.page_elements == 16384
+    assert codec.address_bits == 14
+
+
+def test_protecting_ten_percent_overflows_the_spare_area():
+    layout = PageLayout(protect_fraction=0.10)
+    assert not layout.fits_in_spare()
+
+
+def test_invalid_layouts_rejected():
+    with pytest.raises(ValueError):
+        PageLayout(page_bytes=0)
+    with pytest.raises(ValueError):
+        PageLayout(protect_fraction=0.0)
+    with pytest.raises(ValueError):
+        PageLayout(value_copies=3)
+
+
+# -- analytical protection model --------------------------------------------------
+def test_paper_example_n2_rate_1e4():
+    """Section VI: N=2 at x=1e-4 gives f_prot ≈ 3e-8."""
+    assert protected_flip_rate(1e-4, copies=2, exact=False) == pytest.approx(3e-8)
+    assert protected_flip_rate(1e-4, copies=2) == pytest.approx(3e-8, rel=0.01)
+
+
+def test_protection_gain_is_orders_of_magnitude():
+    assert protection_gain(1e-4, copies=2) > 1000
+
+
+def test_more_copies_always_protect_better():
+    for rate in (1e-4, 1e-3, 1e-2):
+        assert protected_flip_rate(rate, copies=4) < protected_flip_rate(rate, copies=2)
+
+
+def test_tolerable_raw_rate_inverts_the_approximation():
+    target = 1e-8
+    raw = tolerable_raw_rate(target, copies=2)
+    assert protected_flip_rate(raw, copies=2, exact=False) == pytest.approx(target, rel=1e-6)
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ValueError):
+        protected_flip_rate(-0.1)
+    with pytest.raises(ValueError):
+        protected_flip_rate(1e-4, copies=3)
+    with pytest.raises(ValueError):
+        tolerable_raw_rate(0.0)
+
+
+@given(rate=st.floats(min_value=1e-8, max_value=0.4))
+def test_protected_rate_never_exceeds_raw_rate(rate):
+    """Property: majority voting can only help."""
+    assert protected_flip_rate(rate, copies=2) <= rate + 1e-12

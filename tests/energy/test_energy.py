@@ -1,0 +1,66 @@
+"""Tests for the per-token traffic and energy model (Fig. 16)."""
+
+import pytest
+
+from repro.core import InferenceEngine, cambricon_llm_s
+from repro.energy import (
+    CambriconEnergyModel,
+    EnergyPerBit,
+    FlexGenSSDEnergyModel,
+    TransferPath,
+)
+
+
+@pytest.fixture(scope="module")
+def cam_report():
+    return CambriconEnergyModel(InferenceEngine(cambricon_llm_s())).report("opt-6.7b")
+
+
+@pytest.fixture(scope="module")
+def flexgen_report():
+    return FlexGenSSDEnergyModel().report("opt-6.7b")
+
+
+def test_energy_per_bit_table_accessors():
+    table = EnergyPerBit()
+    joules = table.transfer_joules(TransferPath.CHIPLET_D2D, 1e9)
+    assert joules == pytest.approx(2.0e-12 * 8e9)
+    assert table.compute_joules(1e9) > 0
+    with pytest.raises(ValueError):
+        table.transfer_joules(TransferPath.PCIE, -1)
+
+
+def test_cambricon_external_traffic_close_to_paper(cam_report):
+    """Fig. 16a: ~1.9-2.4 GB of external movement per OPT-6.7B token."""
+    assert 1.5e9 <= cam_report.external_transfer_bytes <= 3.0e9
+
+
+def test_flexgen_traffic_close_to_paper(flexgen_report):
+    """Fig. 16a: FlexGen-SSD moves ~20 GB per OPT-6.7B token."""
+    assert 18e9 <= flexgen_report.external_transfer_bytes <= 23e9
+
+
+def test_traffic_reduction_close_to_10x(cam_report, flexgen_report):
+    """Section VIII-F: 9.7x-11.6x less data transferred than FlexGen-SSD."""
+    ratio = flexgen_report.external_transfer_bytes / cam_report.external_transfer_bytes
+    assert 7 <= ratio <= 14
+
+
+def test_energy_reduction_matches_paper_direction(cam_report, flexgen_report):
+    """Section VIII-F: Cambricon-LLM uses roughly 2/3 of FlexGen-SSD's energy."""
+    ratio = cam_report.energy_joules / flexgen_report.energy_joules
+    assert 0.3 <= ratio <= 0.85
+
+
+def test_energy_breakdown_sums_to_total(cam_report, flexgen_report):
+    for report in (cam_report, flexgen_report):
+        assert sum(report.breakdown_joules.values()) == pytest.approx(report.energy_joules)
+        assert report.energy_joules > 0
+
+
+def test_energy_scales_with_model_size():
+    model = CambriconEnergyModel(InferenceEngine(cambricon_llm_s()))
+    small = model.report("opt-6.7b")
+    large = model.report("opt-30b")
+    assert large.energy_joules > 3 * small.energy_joules
+    assert large.external_transfer_bytes > 3 * small.external_transfer_bytes

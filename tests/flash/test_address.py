@@ -1,0 +1,76 @@
+"""Tests for the weight-to-page address map."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flash.address import WeightPageMap
+from repro.flash.geometry import FlashGeometry
+
+
+def small_geometry():
+    return FlashGeometry(
+        channels=4,
+        chips_per_channel=2,
+        dies_per_chip=2,
+        planes_per_die=2,
+        blocks_per_plane=8,
+        pages_per_block=16,
+    )
+
+
+def test_pages_striped_round_robin_across_channels():
+    geometry = small_geometry()
+    page_map = WeightPageMap(geometry, weight_bytes=64 * geometry.page_bytes)
+    channels = [page_map.address_of(i).channel for i in range(8)]
+    assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_even_distribution_over_channels_and_dies():
+    geometry = small_geometry()
+    page_map = WeightPageMap(geometry, weight_bytes=160 * geometry.page_bytes)
+    per_channel = page_map.pages_per_channel()
+    assert sum(per_channel) == page_map.num_pages
+    assert max(per_channel) - min(per_channel) <= 1
+    assert page_map.die_utilization() == 1.0
+    assert page_map.balance_ratio() >= 0.5
+
+
+def test_small_weight_blob_leaves_dies_idle():
+    """Fig. 15a: with too much parallelism not every die holds weight data."""
+    geometry = FlashGeometry(channels=8, chips_per_channel=64)
+    page_map = WeightPageMap(geometry, weight_bytes=100 * geometry.page_bytes)
+    assert page_map.die_utilization() < 0.2
+
+
+def test_capacity_overflow_rejected():
+    geometry = small_geometry()
+    with pytest.raises(ValueError):
+        WeightPageMap(geometry, weight_bytes=2 * geometry.total_capacity_bytes)
+    with pytest.raises(ValueError):
+        WeightPageMap(geometry, weight_bytes=0)
+
+
+def test_address_bounds_checked():
+    geometry = small_geometry()
+    page_map = WeightPageMap(geometry, weight_bytes=10 * geometry.page_bytes)
+    with pytest.raises(IndexError):
+        page_map.address_of(page_map.num_pages)
+
+
+@settings(max_examples=25, deadline=None)
+@given(num_pages=st.integers(min_value=1, max_value=2000))
+def test_every_page_maps_to_a_valid_unique_location(num_pages):
+    geometry = small_geometry()
+    num_pages = min(num_pages, geometry.total_pages)
+    page_map = WeightPageMap(geometry, weight_bytes=num_pages * geometry.page_bytes)
+    seen = set()
+    for address in page_map.iter_addresses():
+        assert 0 <= address.channel < geometry.channels
+        assert 0 <= address.chip < geometry.chips_per_channel
+        assert 0 <= address.die < geometry.dies_per_chip
+        assert 0 <= address.plane < geometry.planes_per_die
+        assert 0 <= address.block < geometry.blocks_per_plane
+        assert 0 <= address.page < geometry.pages_per_block
+        key = (address.channel, address.chip, address.die, address.plane, address.block, address.page)
+        assert key not in seen
+        seen.add(key)

@@ -1,0 +1,84 @@
+"""Tests for the closed-form flash steady-state model."""
+
+import pytest
+
+from repro.flash.analytical import FlashSteadyStateModel
+from repro.flash.geometry import FlashGeometry
+from repro.flash.slicing import SliceControl, SlicePolicy
+from repro.flash.timing import FlashTiming
+from repro.units import GB, US
+
+
+def model_for(channels=8, chips=2, policy=SlicePolicy.SLICED):
+    return FlashSteadyStateModel(
+        geometry=FlashGeometry(channels=channels, chips_per_channel=chips),
+        timing=FlashTiming(),
+        slice_control=SliceControl(policy=policy),
+    )
+
+
+def test_tile_period_is_read_limited_for_table2():
+    model = model_for()
+    assert model.tile_period_seconds() == pytest.approx(30 * US, rel=0.05)
+
+
+def test_in_flash_rate_for_s_configuration():
+    """32 dies each consuming one 16 KiB page per 30 us ≈ 17.5 GB/s."""
+    model = model_for()
+    rate = model.in_flash_weight_rate()
+    assert rate == pytest.approx(32 * 16384 / 30e-6, rel=0.01)
+    assert 15 * GB < rate < 20 * GB
+
+
+def test_read_compute_channel_fraction_is_small_for_optimal_tile():
+    """Section IV-C: read-compute requests alone use ≤ ~6 % of the channel."""
+    model = model_for()
+    fraction = model.read_compute_channel_fraction(tile_height=256, tile_width=2048)
+    assert fraction < 0.06
+
+
+def test_read_stream_uses_most_of_the_leftover_bandwidth():
+    model = model_for()
+    stream = model.read_stream_rate(256, 2048)
+    assert stream == pytest.approx(8 * 1e9, rel=0.10)
+
+
+def test_read_compute_only_policy_streams_nothing():
+    model = model_for(policy=SlicePolicy.READ_COMPUTE_ONLY)
+    assert model.read_stream_rate(256, 2048) == 0.0
+    assert model.in_flash_weight_rate() > 0
+
+
+def test_unsliced_policy_slows_both_pipes():
+    """Fig. 12: removing read-request slicing costs ~40 % of throughput."""
+    sliced = model_for(policy=SlicePolicy.SLICED).rates(256, 2048)
+    unsliced = model_for(policy=SlicePolicy.UNSLICED).rates(256, 2048)
+    ratio = unsliced.combined_rate / sliced.combined_rate
+    assert 0.4 < ratio < 0.75
+    assert unsliced.in_flash_rate < sliced.in_flash_rate
+    assert unsliced.read_stream_rate < sliced.read_stream_rate
+
+
+def test_combined_rate_scales_with_parallelism():
+    small = model_for(channels=8, chips=2).rates(256, 2048)
+    large = model_for(channels=32, chips=8).rates(512, 16384)
+    assert large.combined_rate > 8 * small.combined_rate
+
+
+def test_core_utilization_scales_in_flash_rate():
+    model = model_for()
+    assert model.in_flash_weight_rate(0.5) == pytest.approx(
+        0.5 * model.in_flash_weight_rate(1.0)
+    )
+    with pytest.raises(ValueError):
+        model.in_flash_weight_rate(1.5)
+
+
+def test_read_stream_capped_by_plane_read_bandwidth():
+    """A single very fast channel cannot stream faster than the planes read."""
+    fast_channel = FlashSteadyStateModel(
+        geometry=FlashGeometry(channels=1, chips_per_channel=1),
+        timing=FlashTiming(channel_mt_per_s=8000),
+    )
+    stream = fast_channel.read_stream_rate(128, 256)
+    assert stream <= fast_channel.read_plane_array_rate() + 1e-6

@@ -1,0 +1,41 @@
+"""Tests for the on-die Compute Core model."""
+
+import pytest
+
+from repro.flash.compute_core import ComputeCoreSpec
+from repro.units import KiB, US
+
+
+def test_default_core_keeps_up_with_table2_read_speed():
+    """Table II: tR = 30 us, 16 KB pages — the core must drain a page in time."""
+    core = ComputeCoreSpec()
+    assert core.keeps_up_with_read(page_bytes=16 * KiB, read_us=30.0)
+
+
+def test_paper_sizing_example_two_macs_for_20us_page():
+    """Section IV-B sizes ~2 MACs for a 20 us / 16 KB page at 1.6 GOPS."""
+    core = ComputeCoreSpec(macs=1, clock_hz=800e6)
+    required = core.required_macs(page_bytes=16 * KiB, read_us=20.0)
+    assert required in (2, 3)
+
+
+def test_page_compute_time_scales_with_weight_width():
+    core = ComputeCoreSpec()
+    int8 = core.page_compute_seconds(16 * KiB, weight_bits=8)
+    int4 = core.page_compute_seconds(16 * KiB, weight_bits=4)
+    assert int4 == pytest.approx(2 * int8)
+
+
+def test_undersized_core_detected():
+    tiny = ComputeCoreSpec(macs=1, clock_hz=100e6)
+    assert not tiny.keeps_up_with_read(page_bytes=16 * KiB, read_us=30.0)
+    assert tiny.page_compute_seconds(16 * KiB) > 30 * US
+
+
+def test_invalid_core_rejected():
+    with pytest.raises(ValueError):
+        ComputeCoreSpec(macs=0)
+    with pytest.raises(ValueError):
+        ComputeCoreSpec(clock_hz=0)
+    with pytest.raises(ValueError):
+        ComputeCoreSpec().page_compute_seconds(0)

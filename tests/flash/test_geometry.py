@@ -1,0 +1,71 @@
+"""Tests for the flash geometry model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.flash.geometry import FlashGeometry
+from repro.units import KiB
+
+
+def test_table2_s_configuration_counts():
+    geometry = FlashGeometry(channels=8, chips_per_channel=2)
+    assert geometry.dies_per_channel == 4
+    assert geometry.compute_cores_per_channel == 4
+    assert geometry.total_dies == 32
+    assert geometry.total_compute_cores == 32
+    assert geometry.page_bytes == 16 * KiB
+
+
+def test_table2_l_configuration_counts():
+    geometry = FlashGeometry(channels=32, chips_per_channel=8)
+    assert geometry.total_chips == 256
+    assert geometry.total_compute_cores == 32 * 16
+
+
+def test_capacity_scales_with_structure():
+    small = FlashGeometry(channels=8, chips_per_channel=2)
+    large = FlashGeometry(channels=32, chips_per_channel=8)
+    assert large.total_capacity_bytes == 16 * small.total_capacity_bytes
+    assert small.total_pages * small.page_bytes == small.total_capacity_bytes
+
+
+def test_s_configuration_holds_a_70b_model():
+    geometry = FlashGeometry(channels=8, chips_per_channel=2)
+    assert geometry.can_store(70e9)
+
+
+def test_scaled_changes_only_requested_dimensions():
+    base = FlashGeometry(channels=8, chips_per_channel=2)
+    wider = base.scaled(channels=16)
+    deeper = base.scaled(chips_per_channel=64)
+    assert wider.channels == 16 and wider.chips_per_channel == 2
+    assert deeper.channels == 8 and deeper.chips_per_channel == 64
+    assert wider.page_bytes == base.page_bytes
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        FlashGeometry(channels=0)
+    with pytest.raises(ValueError):
+        FlashGeometry(page_bytes=-1)
+    with pytest.raises(ValueError):
+        FlashGeometry(spare_bytes_per_page=-1)
+
+
+@given(
+    channels=st.integers(min_value=1, max_value=64),
+    chips=st.integers(min_value=1, max_value=16),
+    dies=st.integers(min_value=1, max_value=4),
+    planes=st.integers(min_value=1, max_value=4),
+)
+def test_structural_counts_are_consistent(channels, chips, dies, planes):
+    geometry = FlashGeometry(
+        channels=channels,
+        chips_per_channel=chips,
+        dies_per_chip=dies,
+        planes_per_die=planes,
+    )
+    assert geometry.total_dies == channels * chips * dies
+    assert geometry.total_planes == geometry.total_dies * planes
+    assert geometry.compute_cores_per_channel * channels == geometry.total_compute_cores
+    assert geometry.total_capacity_bytes == geometry.total_pages * geometry.page_bytes

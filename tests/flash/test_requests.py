@@ -1,0 +1,55 @@
+"""Tests for the flash request types."""
+
+import pytest
+
+from repro.flash.requests import PageReadRequest, ReadComputeTile, SlicedTransfer
+from repro.units import KiB
+
+
+def test_read_compute_tile_channel_traffic():
+    tile = ReadComputeTile(
+        tile_id=0, cores=4, input_bytes=256.0, output_bytes_per_core=64.0
+    )
+    assert tile.channel_bytes == pytest.approx(256 + 4 * 64)
+
+
+def test_sliced_transfer_splits_page_into_slices():
+    request = PageReadRequest(request_id=1, die=0, plane=1, page_bytes=16 * KiB)
+    transfer = SlicedTransfer(request=request, slice_bytes=2 * KiB)
+    assert transfer.slices_total == 8
+    moved = 0.0
+    while not transfer.done:
+        chunk = transfer.next_slice()
+        transfer.consume(chunk)
+        moved += chunk
+    assert moved == pytest.approx(16 * KiB)
+
+
+def test_sliced_transfer_handles_non_divisible_tail():
+    request = PageReadRequest(request_id=1, die=0, plane=0, page_bytes=5000)
+    transfer = SlicedTransfer(request=request, slice_bytes=2048)
+    assert transfer.slices_total == 3
+    transfer.consume(transfer.next_slice())
+    transfer.consume(transfer.next_slice())
+    assert transfer.next_slice() == pytest.approx(5000 - 2 * 2048)
+
+
+def test_sliced_transfer_guards_against_over_consumption():
+    request = PageReadRequest(request_id=1, die=0, plane=0, page_bytes=1024)
+    transfer = SlicedTransfer(request=request, slice_bytes=512)
+    with pytest.raises(ValueError):
+        transfer.consume(2048)
+    transfer.consume(1024)
+    with pytest.raises(RuntimeError):
+        transfer.next_slice()
+
+
+def test_invalid_requests_rejected():
+    with pytest.raises(ValueError):
+        PageReadRequest(request_id=0, die=-1, plane=0, page_bytes=1024)
+    with pytest.raises(ValueError):
+        PageReadRequest(request_id=0, die=0, plane=0, page_bytes=0)
+    with pytest.raises(ValueError):
+        ReadComputeTile(tile_id=0, cores=0, input_bytes=1, output_bytes_per_core=1)
+    with pytest.raises(ValueError):
+        ReadComputeTile(tile_id=0, cores=2, input_bytes=-1, output_bytes_per_core=1)

@@ -1,0 +1,132 @@
+"""Tests for the discrete-event channel simulator.
+
+The simulator is the SSDsim substitute; these tests check its internal
+consistency and cross-validate its steady-state rates against the closed-form
+model of :mod:`repro.flash.analytical`.
+"""
+
+import pytest
+
+from repro.flash.analytical import FlashSteadyStateModel
+from repro.flash.geometry import FlashGeometry
+from repro.flash.simulator import ChannelSimulator, ChannelWorkload
+from repro.flash.slicing import SliceControl, SlicePolicy
+from repro.flash.timing import FlashTiming
+from repro.units import US
+
+
+GEOMETRY = FlashGeometry(channels=8, chips_per_channel=2)
+TIMING = FlashTiming()
+
+
+def simulator(policy=SlicePolicy.SLICED, **kwargs):
+    return ChannelSimulator(
+        geometry=GEOMETRY,
+        timing=TIMING,
+        slice_control=SliceControl(policy=policy),
+        **kwargs,
+    )
+
+
+def balanced_workload(rc_tiles=64, read_pages=None):
+    """A window shaped like the engine's balanced per-channel schedule."""
+    if read_pages is None:
+        # Roughly what the 0.7 / 0.3 split produces per channel for this window.
+        read_pages = int(rc_tiles * GEOMETRY.compute_cores_per_channel * 0.45)
+    return ChannelWorkload(
+        rc_tiles=rc_tiles,
+        rc_input_bytes=256.0,
+        rc_output_bytes_per_core=64.0,
+        read_pages=read_pages,
+    )
+
+
+def test_read_compute_only_matches_tile_period():
+    """With no reads the tile rate is one page per core per ~tR."""
+    sim = simulator(policy=SlicePolicy.READ_COMPUTE_ONLY)
+    result = sim.run(ChannelWorkload(64, 256.0, 64.0, 0))
+    assert result.rc_tiles_done == 64
+    assert result.read_pages_done == 0
+    per_tile = result.makespan / 64
+    assert 30 * US < per_tile < 36 * US
+    # Fig. 6a / Section IV-C: read-compute traffic alone leaves the channel
+    # almost idle.
+    assert result.utilization < 0.08
+
+
+def test_sliced_reads_fill_the_channel():
+    """Fig. 6c: sliced reads reclaim the idle channel without slowing tiles."""
+    sim = simulator(policy=SlicePolicy.SLICED)
+    result = sim.run(balanced_workload())
+    assert result.rc_tiles_done == 64
+    assert result.utilization > 0.6
+    per_tile = result.makespan / 64
+    assert per_tile < 40 * US
+
+
+def test_unsliced_reads_block_read_compute_requests():
+    """Fig. 6b / Fig. 12: whole-page reads stretch the pipeline and halve speed."""
+    sliced = simulator(policy=SlicePolicy.SLICED).run(balanced_workload())
+    unsliced = simulator(policy=SlicePolicy.UNSLICED).run(balanced_workload())
+    assert unsliced.makespan > 1.3 * sliced.makespan
+    assert unsliced.combined_rate < 0.8 * sliced.combined_rate
+    assert unsliced.utilization < sliced.utilization
+
+
+def test_sliced_rates_cross_validate_against_analytical_model():
+    """The event simulator and the closed-form model agree within ~20 %."""
+    analytical = FlashSteadyStateModel(
+        geometry=GEOMETRY, timing=TIMING, slice_control=SliceControl()
+    )
+    expected_flash = analytical.in_flash_weight_rate() / GEOMETRY.channels
+    expected_stream = analytical.read_stream_rate(256, 2048) / GEOMETRY.channels
+
+    result = simulator().run(balanced_workload(rc_tiles=128))
+    assert result.in_flash_rate == pytest.approx(expected_flash, rel=0.25)
+    assert result.read_stream_rate == pytest.approx(expected_stream, rel=0.35)
+
+
+def test_conservation_of_work():
+    """Everything submitted is eventually processed exactly once."""
+    workload = balanced_workload(rc_tiles=32, read_pages=100)
+    result = simulator().run(workload)
+    assert result.rc_tiles_done == workload.rc_tiles
+    assert result.read_pages_done == workload.read_pages
+    expected_flash_bytes = (
+        workload.rc_tiles * GEOMETRY.compute_cores_per_channel * GEOMETRY.page_bytes
+    )
+    assert result.in_flash_weight_bytes == pytest.approx(expected_flash_bytes)
+    assert result.read_weight_bytes == pytest.approx(
+        workload.read_pages * GEOMETRY.page_bytes
+    )
+
+
+def test_channel_busy_never_exceeds_makespan():
+    result = simulator().run(balanced_workload(rc_tiles=16, read_pages=64))
+    assert 0.0 < result.channel_busy <= result.makespan
+    assert 0.0 < result.utilization <= 1.0
+
+
+def test_pure_read_stream_saturates_the_channel():
+    """Without read-compute work the channel streams pages at line rate."""
+    sim = simulator()
+    result = sim.run(ChannelWorkload(0, 0.0, 0.0, 200))
+    assert result.read_pages_done == 200
+    assert result.utilization > 0.85
+    assert result.read_stream_rate == pytest.approx(TIMING.channel_bandwidth, rel=0.2)
+
+
+def test_invalid_workloads_rejected():
+    with pytest.raises(ValueError):
+        ChannelWorkload(0, 0.0, 0.0, 0)
+    with pytest.raises(ValueError):
+        ChannelWorkload(-1, 0.0, 0.0, 1)
+    with pytest.raises(ValueError):
+        ChannelWorkload(1, -1.0, 0.0, 1)
+
+
+def test_invalid_simulator_parameters_rejected():
+    with pytest.raises(ValueError):
+        ChannelSimulator(GEOMETRY, TIMING, input_buffer_depth=0)
+    with pytest.raises(ValueError):
+        ChannelSimulator(GEOMETRY, TIMING, max_outstanding_reads_per_die=0)

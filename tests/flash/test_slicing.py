@@ -1,0 +1,42 @@
+"""Tests for the Slice Control policies."""
+
+import pytest
+
+from repro.flash.slicing import SliceControl, SlicePolicy
+from repro.units import KiB
+
+
+def test_default_policy_is_sliced_with_2kib_granularity():
+    control = SliceControl()
+    assert control.policy is SlicePolicy.SLICED
+    assert control.transfer_granularity(16 * KiB) == 2 * KiB
+    assert control.slices_per_page(16 * KiB) == 8
+
+
+def test_unsliced_policy_moves_whole_pages():
+    control = SliceControl(policy=SlicePolicy.UNSLICED)
+    assert control.transfer_granularity(16 * KiB) == 16 * KiB
+    assert control.slices_per_page(16 * KiB) == 1
+    assert control.allows_read_requests
+
+
+def test_read_compute_only_policy_disables_reads():
+    control = SliceControl(policy=SlicePolicy.READ_COMPUTE_ONLY)
+    assert not control.allows_read_requests
+
+
+def test_slice_never_exceeds_page():
+    control = SliceControl(slice_bytes=64 * KiB)
+    assert control.transfer_granularity(16 * KiB) == 16 * KiB
+
+
+def test_non_divisible_pages_round_up():
+    control = SliceControl(slice_bytes=3000)
+    assert control.slices_per_page(16 * KiB) == 6
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ValueError):
+        SliceControl(slice_bytes=0)
+    with pytest.raises(ValueError):
+        SliceControl().transfer_granularity(0)

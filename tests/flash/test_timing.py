@@ -1,0 +1,48 @@
+"""Tests for the flash timing model."""
+
+import pytest
+
+from repro.flash.timing import FlashTiming
+from repro.units import KiB, US
+
+
+def test_table2_channel_bandwidth_is_one_gigabyte_per_second():
+    timing = FlashTiming()
+    assert timing.channel_bandwidth == pytest.approx(1e9)
+
+
+def test_page_transfer_time_matches_bandwidth():
+    timing = FlashTiming()
+    assert timing.page_transfer_seconds(16 * KiB) == pytest.approx(16384e-9)
+
+
+def test_read_latency_is_30_microseconds():
+    timing = FlashTiming()
+    assert timing.read_seconds == pytest.approx(30 * US)
+
+
+def test_array_read_bandwidth_per_plane():
+    timing = FlashTiming()
+    rate = timing.array_read_bandwidth(16 * KiB)
+    assert rate == pytest.approx(16 * KiB / (30 * US))
+
+
+def test_writes_are_orders_of_magnitude_slower_than_reads():
+    """Background section: program/erase are 1-2 orders slower than reads."""
+    timing = FlashTiming()
+    assert timing.program_us >= 10 * timing.read_us
+    assert timing.erase_us >= 100 * timing.read_us
+
+
+def test_transfer_rejects_negative_bytes():
+    with pytest.raises(ValueError):
+        FlashTiming().transfer_seconds(-1)
+
+
+def test_invalid_timing_rejected():
+    with pytest.raises(ValueError):
+        FlashTiming(read_us=0)
+    with pytest.raises(ValueError):
+        FlashTiming(channel_mt_per_s=-1)
+    with pytest.raises(ValueError):
+        FlashTiming(command_overhead_us=-0.1)

@@ -1,0 +1,39 @@
+"""Tests for arithmetic-intensity and reduction-ratio helpers."""
+
+import pytest
+
+from repro.llm.intensity import (
+    decode_arithmetic_intensity,
+    gemv_reduction_ratio,
+    prefill_arithmetic_intensity,
+)
+
+
+def test_decode_intensity_matches_paper_figure():
+    """Fig. 1a: single-batch decode at W8A8 sits around 2 ops/byte."""
+    for model in ("opt-6.7b", "llama2-7b", "llama2-70b"):
+        intensity = decode_arithmetic_intensity(model)
+        assert 1.5 <= intensity <= 2.5
+
+
+def test_w4_decode_intensity_roughly_doubles():
+    w8 = decode_arithmetic_intensity("opt-6.7b", weight_bits=8)
+    w4 = decode_arithmetic_intensity("opt-6.7b", weight_bits=4)
+    assert 1.6 <= w4 / w8 <= 2.1
+
+
+def test_prefill_intensity_scales_with_prompt_length():
+    short = prefill_arithmetic_intensity("opt-6.7b", prompt_len=64)
+    long = prefill_arithmetic_intensity("opt-6.7b", prompt_len=512)
+    assert long > 3 * short
+
+
+def test_gemv_reduction_ratio_near_hidden_size():
+    """Fig. 1b: a 4096x4096 GeMV reduces its data by roughly 4096x."""
+    ratio = gemv_reduction_ratio(4096, 4096)
+    assert ratio == pytest.approx(4096, rel=0.01)
+
+
+def test_reduction_ratio_rejects_bad_dims():
+    with pytest.raises(ValueError):
+        gemv_reduction_ratio(0, 10)

@@ -1,0 +1,49 @@
+"""Tests for the KV cache model."""
+
+import pytest
+
+from repro.llm.kv_cache import KVCache
+from repro.llm.models import get_model
+from repro.npu.dram import DRAMSpec
+
+
+def test_70b_kv_cache_fits_paper_dram_budget():
+    """The paper keeps the 70B KV cache (seq 1000) well inside 2 GB of DRAM."""
+    cache = KVCache(get_model("llama2-70b"), seq_len=1000, bits_per_value=16)
+    assert cache.total_bytes < 1e9
+    assert cache.fits_in(DRAMSpec().capacity_bytes)
+
+
+def test_read_traffic_equals_total_cache_per_step():
+    cache = KVCache(get_model("opt-6.7b"), seq_len=500)
+    assert cache.read_bytes_per_decode_step() == pytest.approx(cache.total_bytes)
+
+
+def test_write_traffic_is_one_token_per_layer():
+    model = get_model("opt-6.7b")
+    cache = KVCache(model, seq_len=500)
+    expected = model.num_layers * cache.bytes_per_token_per_layer
+    assert cache.write_bytes_per_decode_step() == pytest.approx(expected)
+
+
+def test_append_grows_linearly():
+    cache = KVCache(get_model("opt-6.7b"), seq_len=100)
+    grown = cache.append(100)
+    assert grown.total_bytes == pytest.approx(2 * cache.total_bytes)
+    assert cache.seq_len == 100  # original unchanged
+
+
+def test_gqa_shrinks_cache_eightfold():
+    dense = KVCache(get_model("opt-66b"), seq_len=1000)
+    gqa = KVCache(get_model("llama2-70b"), seq_len=1000)
+    assert dense.bytes_per_token_per_layer > 8 * gqa.bytes_per_token_per_layer
+
+
+def test_invalid_arguments_rejected():
+    model = get_model("opt-6.7b")
+    with pytest.raises(ValueError):
+        KVCache(model, seq_len=-1)
+    with pytest.raises(ValueError):
+        KVCache(model, seq_len=1, bits_per_value=0)
+    with pytest.raises(ValueError):
+        KVCache(model, seq_len=1).append(-5)

@@ -1,0 +1,65 @@
+"""Tests for the decoder-layer operator graphs."""
+
+import pytest
+
+from repro.llm.layers import build_decode_layer_ops, build_lm_head_op
+from repro.llm.models import get_model
+from repro.llm.operators import GeMVOp, Placement, SFUOp
+
+
+def gemv_names(ops):
+    return [op.name for op in ops if isinstance(op, GeMVOp)]
+
+
+def test_opt_layer_has_six_weight_gemvs():
+    ops = build_decode_layer_ops(get_model("opt-6.7b"), seq_len=100)
+    assert gemv_names(ops) == ["w_q", "w_k", "w_v", "w_o", "w_up", "w_down"]
+
+
+def test_llama_layer_has_seven_weight_gemvs_and_rope():
+    ops = build_decode_layer_ops(get_model("llama2-7b"), seq_len=100)
+    assert gemv_names(ops) == ["w_q", "w_k", "w_v", "w_o", "w_gate", "w_up", "w_down"]
+    assert any(isinstance(op, SFUOp) and op.name == "rope" for op in ops)
+
+
+def test_layer_weight_bytes_match_model_spec():
+    spec = get_model("llama2-7b")
+    ops = build_decode_layer_ops(spec, seq_len=0)
+    layer_weight_bytes = sum(op.weight_bytes for op in ops)
+    assert layer_weight_bytes == pytest.approx(spec.layer_weight_elements(), rel=1e-9)
+
+
+def test_gqa_shrinks_kv_projections():
+    spec = get_model("llama2-70b")
+    ops = {op.name: op for op in build_decode_layer_ops(spec, seq_len=0) if isinstance(op, GeMVOp)}
+    assert ops["w_k"].rows == spec.kv_dim == 1024
+    assert ops["w_q"].rows == spec.hidden_size == 8192
+
+
+def test_attention_reads_scale_with_cache_length():
+    spec = get_model("opt-6.7b")
+    short = build_decode_layer_ops(spec, seq_len=100)
+    long = build_decode_layer_ops(spec, seq_len=1000)
+    kv_short = sum(op.kv_bytes for op in short)
+    kv_long = sum(op.kv_bytes for op in long)
+    assert kv_long > 9 * kv_short
+
+
+def test_every_gemv_is_mapped_to_flash_and_npu():
+    """Fig. 5: all weight GeMVs are co-executed by flash and NPU."""
+    ops = build_decode_layer_ops(get_model("opt-6.7b"), seq_len=10)
+    for op in ops:
+        if isinstance(op, GeMVOp):
+            assert op.placement is Placement.FLASH_AND_NPU
+
+
+def test_lm_head_projects_to_vocabulary():
+    spec = get_model("opt-6.7b")
+    head = build_lm_head_op(spec)
+    assert head.rows == spec.vocab_size
+    assert head.cols == spec.hidden_size
+
+
+def test_negative_seq_len_rejected():
+    with pytest.raises(ValueError):
+        build_decode_layer_ops(get_model("opt-6.7b"), seq_len=-1)

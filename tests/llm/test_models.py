@@ -1,0 +1,103 @@
+"""Tests for the model zoo."""
+
+import pytest
+
+from repro.llm.models import (
+    LLAMA2_MODELS,
+    MODEL_ZOO,
+    OPT_MODELS,
+    ModelSpec,
+    get_model,
+    list_models,
+)
+
+
+def test_zoo_contains_all_paper_models():
+    expected = {
+        "opt-6.7b", "opt-13b", "opt-30b", "opt-66b",
+        "llama2-7b", "llama2-13b", "llama2-70b",
+    }
+    assert expected == set(MODEL_ZOO)
+    assert set(OPT_MODELS) | set(LLAMA2_MODELS) == expected
+    assert list_models() == OPT_MODELS + LLAMA2_MODELS
+
+
+@pytest.mark.parametrize(
+    "name, expected_billion",
+    [
+        ("opt-6.7b", 6.7),
+        ("opt-13b", 13.0),
+        ("opt-30b", 30.0),
+        ("opt-66b", 66.0),
+        ("llama2-7b", 6.7),
+        ("llama2-13b", 13.0),
+        ("llama2-70b", 69.0),
+    ],
+)
+def test_parameter_counts_match_names(name, expected_billion):
+    """Total parameters should land within ~10 % of the nameplate size."""
+    spec = get_model(name)
+    billions = spec.total_parameters() / 1e9
+    assert billions == pytest.approx(expected_billion, rel=0.10)
+
+
+def test_int8_weight_bytes_for_70b_match_paper_claim():
+    """The paper quotes ~70 GB for Llama2-70B under INT8."""
+    spec = get_model("llama2-70b")
+    assert 64e9 <= spec.weight_bytes(8) <= 75e9
+
+
+def test_kv_cache_under_a_gigabyte_for_70b():
+    """The paper stores the 70B KV cache (~seq 1000) in < 1 GB of DRAM."""
+    spec = get_model("llama2-70b")
+    assert spec.kv_cache_bytes(seq_len=1000, bits_per_value=16) < 1e9
+
+
+def test_llama2_70b_uses_gqa():
+    spec = get_model("llama2-70b")
+    assert spec.num_kv_heads == 8
+    assert spec.kv_dim == 1024
+    assert spec.uses_gated_ffn
+
+
+def test_opt_uses_standard_ffn_and_mha():
+    spec = get_model("opt-6.7b")
+    assert not spec.uses_gated_ffn
+    assert spec.kv_dim == spec.hidden_size
+    assert spec.ffn_hidden_size == 4 * spec.hidden_size
+
+
+def test_layer_weight_shapes_cover_attention_and_ffn():
+    spec = get_model("llama2-7b")
+    shapes = spec.layer_weight_shapes()
+    assert len(shapes) == 4 + 3  # Q, K, V, O + gate, up, down
+    assert shapes[0] == (4096, 4096)
+
+
+def test_case_insensitive_lookup_and_unknown_model():
+    assert get_model("OPT-6.7B").name == "opt-6.7b"
+    with pytest.raises(KeyError):
+        get_model("gpt-5")
+
+
+def test_invalid_specs_rejected():
+    with pytest.raises(ValueError):
+        ModelSpec(
+            name="bad", family="opt", num_layers=2, hidden_size=100,
+            num_heads=3, num_kv_heads=3, ffn_hidden_size=400, vocab_size=100,
+        )
+    with pytest.raises(ValueError):
+        ModelSpec(
+            name="bad", family="unknown", num_layers=2, hidden_size=128,
+            num_heads=4, num_kv_heads=4, ffn_hidden_size=512, vocab_size=100,
+        )
+    with pytest.raises(ValueError):
+        ModelSpec(
+            name="bad", family="llama2", num_layers=2, hidden_size=128,
+            num_heads=4, num_kv_heads=3, ffn_hidden_size=512, vocab_size=100,
+        )
+
+
+def test_negative_seq_len_rejected():
+    with pytest.raises(ValueError):
+        get_model("opt-6.7b").kv_cache_bytes(seq_len=-1)

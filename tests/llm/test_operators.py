@@ -1,0 +1,109 @@
+"""Tests for operator op/byte accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.llm.operators import (
+    AttentionScoreOp,
+    AttentionValueOp,
+    ElementwiseOp,
+    GeMVOp,
+    Placement,
+    SFUOp,
+)
+
+
+def test_gemv_ops_and_bytes():
+    op = GeMVOp(name="w", rows=4096, cols=4096, weight_bits=8, activation_bits=8)
+    assert op.ops == 2 * 4096 * 4096
+    assert op.weight_bytes == 4096 * 4096
+    assert op.activation_bytes == (4096 + 4096)
+    assert op.placement is Placement.FLASH_AND_NPU
+
+
+def test_gemv_arithmetic_intensity_is_about_two_for_w8a8():
+    """The paper's headline observation: ~2 ops/byte for INT8 GeMV."""
+    op = GeMVOp(name="w", rows=4096, cols=4096, weight_bits=8, activation_bits=8)
+    assert op.arithmetic_intensity == pytest.approx(2.0, rel=0.01)
+
+
+def test_gemv_w4_halves_weight_bytes():
+    w8 = GeMVOp(name="w", rows=1024, cols=1024, weight_bits=8)
+    w4 = GeMVOp(name="w", rows=1024, cols=1024, weight_bits=4)
+    assert w4.weight_bytes == pytest.approx(w8.weight_bytes / 2)
+
+
+def test_gemv_prefill_reuses_weights():
+    decode = GeMVOp(name="w", rows=1024, cols=1024, batch_tokens=1)
+    prefill = GeMVOp(name="w", rows=1024, cols=1024, batch_tokens=128)
+    assert prefill.ops == 128 * decode.ops
+    assert prefill.weight_bytes == decode.weight_bytes
+    assert prefill.arithmetic_intensity > 50 * decode.arithmetic_intensity
+
+
+def test_gemv_rejects_bad_dimensions():
+    with pytest.raises(ValueError):
+        GeMVOp(name="w", rows=0, cols=10)
+    with pytest.raises(ValueError):
+        GeMVOp(name="w", rows=10, cols=10, batch_tokens=0)
+
+
+def test_attention_ops_read_kv_not_weights():
+    score = AttentionScoreOp(
+        name="qk", num_heads=32, head_dim=128, seq_len=1000, kv_bits=16
+    )
+    value = AttentionValueOp(
+        name="sv", num_heads=32, head_dim=128, seq_len=1000, kv_bits=16
+    )
+    for op in (score, value):
+        assert op.weight_bytes == 0
+        assert op.kv_bytes == 32 * 128 * 1000 * 2
+        assert op.placement is Placement.NPU_AND_DRAM
+        assert op.ops == 2 * 32 * 128 * 1000
+
+
+def test_sfu_and_elementwise_are_npu_only():
+    softmax = SFUOp(name="softmax", elements=4096)
+    residual = ElementwiseOp(name="residual", elements=4096)
+    assert softmax.placement is Placement.NPU_ONLY
+    assert residual.placement is Placement.NPU_ONLY
+    assert softmax.weight_bytes == 0
+    assert residual.kv_bytes == 0
+    assert softmax.ops == 4 * 4096
+    assert residual.ops == 2 * 4096
+
+
+@given(
+    rows=st.integers(min_value=1, max_value=1 << 14),
+    cols=st.integers(min_value=1, max_value=1 << 14),
+    weight_bits=st.sampled_from([4, 8]),
+    activation_bits=st.sampled_from([8, 16]),
+)
+def test_gemv_intensity_bounded_by_twice_inverse_weight_bytes(
+    rows, cols, weight_bits, activation_bits
+):
+    """Ops/byte never exceeds 2 / (bytes per weight): weights dominate traffic."""
+    op = GeMVOp(
+        name="w",
+        rows=rows,
+        cols=cols,
+        weight_bits=weight_bits,
+        activation_bits=activation_bits,
+    )
+    upper_bound = 2.0 / (weight_bits / 8)
+    assert op.arithmetic_intensity <= upper_bound + 1e-9
+    assert op.total_bytes == op.weight_bytes + op.activation_bytes
+
+
+@given(
+    heads=st.integers(min_value=1, max_value=64),
+    head_dim=st.integers(min_value=16, max_value=256),
+    seq_len=st.integers(min_value=1, max_value=4096),
+)
+def test_attention_kv_bytes_scale_linearly_with_seq_len(heads, head_dim, seq_len):
+    base = AttentionScoreOp(name="qk", num_heads=heads, head_dim=head_dim, seq_len=seq_len)
+    doubled = AttentionScoreOp(
+        name="qk", num_heads=heads, head_dim=head_dim, seq_len=2 * seq_len
+    )
+    assert doubled.kv_bytes == pytest.approx(2 * base.kv_bytes)
+    assert doubled.ops == pytest.approx(2 * base.ops)

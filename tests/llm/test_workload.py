@@ -1,0 +1,82 @@
+"""Tests for the decode / prefill workload aggregation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.llm.models import get_model
+from repro.llm.workload import DecodeWorkload, PrefillWorkload
+
+
+def test_decode_weight_bytes_match_total_parameters_minus_embedding():
+    spec = get_model("opt-6.7b")
+    workload = DecodeWorkload(spec, seq_len=1000)
+    expected = spec.decoder_weight_elements() + spec.lm_head_elements()
+    assert workload.gemv_weight_bytes == pytest.approx(expected, rel=1e-9)
+
+
+def test_decode_arithmetic_intensity_near_two_for_w8a8():
+    """Fig. 1a / 3a: the decode phase sits at ~2 ops/byte under INT8."""
+    workload = DecodeWorkload(get_model("llama2-7b"), seq_len=1000)
+    assert 1.5 <= workload.arithmetic_intensity <= 2.5
+
+
+def test_prefill_intensity_is_orders_of_magnitude_higher():
+    decode = DecodeWorkload(get_model("llama2-7b"), seq_len=1000)
+    prefill = PrefillWorkload(get_model("llama2-7b"), prompt_len=512)
+    assert prefill.arithmetic_intensity > 50 * decode.arithmetic_intensity
+
+
+def test_decode_ops_match_two_ops_per_weight_plus_attention():
+    spec = get_model("opt-6.7b")
+    workload = DecodeWorkload(spec, seq_len=0, include_lm_head=False)
+    gemv_ops = 2.0 * spec.decoder_weight_elements()
+    assert workload.total_ops >= gemv_ops
+    assert workload.total_ops <= 1.1 * gemv_ops
+
+
+def test_string_model_names_are_resolved():
+    workload = DecodeWorkload("opt-13b", seq_len=10)
+    assert workload.model.name == "opt-13b"
+
+
+def test_lm_head_inclusion_toggles_traffic():
+    with_head = DecodeWorkload("opt-6.7b", seq_len=10, include_lm_head=True)
+    without_head = DecodeWorkload("opt-6.7b", seq_len=10, include_lm_head=False)
+    difference = with_head.gemv_weight_bytes - without_head.gemv_weight_bytes
+    assert difference == pytest.approx(with_head.lm_head.weight_bytes)
+
+
+def test_w4_weights_halve_gemv_traffic():
+    w8 = DecodeWorkload("opt-6.7b", seq_len=10, weight_bits=8)
+    w4 = DecodeWorkload("opt-6.7b", seq_len=10, weight_bits=4)
+    assert w4.gemv_weight_bytes == pytest.approx(w8.gemv_weight_bytes / 2)
+
+
+def test_per_layer_gemv_shapes_cover_all_matrices():
+    workload = DecodeWorkload("llama2-70b", seq_len=10)
+    shapes = workload.per_layer_gemv_shapes()
+    assert (8192, 8192) in shapes
+    assert (1024, 8192) in shapes
+    assert (8192, 28672) in shapes
+
+
+@settings(max_examples=20, deadline=None)
+@given(seq_len=st.integers(min_value=0, max_value=4000))
+def test_kv_traffic_monotone_in_cache_length(seq_len):
+    shorter = DecodeWorkload("opt-6.7b", seq_len=seq_len, include_lm_head=False)
+    longer = DecodeWorkload("opt-6.7b", seq_len=seq_len + 100, include_lm_head=False)
+    assert longer.kv_cache_bytes > shorter.kv_cache_bytes
+    assert longer.gemv_weight_bytes == pytest.approx(shorter.gemv_weight_bytes)
+
+
+def test_operator_iteration_covers_all_layers():
+    spec = get_model("opt-6.7b")
+    workload = DecodeWorkload(spec, seq_len=10)
+    operators = list(workload.iter_operators())
+    per_layer = len(workload.layers[0].operators)
+    assert len(operators) == spec.num_layers * per_layer + 1  # + LM head
+
+
+def test_prefill_rejects_nonpositive_prompt():
+    with pytest.raises(ValueError):
+        PrefillWorkload("opt-6.7b", prompt_len=0)

@@ -1,0 +1,119 @@
+"""Tests for the NPU substrate (systolic array, SFU, DRAM, buffers)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.npu.buffers import BufferSpec
+from repro.npu.dram import DRAMSpec
+from repro.npu.npu import NPUSpec
+from repro.npu.sfu import SpecialFunctionUnitSpec
+from repro.npu.systolic import SystolicArraySpec
+from repro.units import GB, KiB, TOPS
+
+
+# -- systolic array -----------------------------------------------------------
+def test_paper_default_array_delivers_two_tops():
+    array = SystolicArraySpec.paper_default()
+    assert array.peak_ops_per_second == pytest.approx(2 * TOPS, rel=0.05)
+    assert array.num_pes == 256
+
+
+def test_compute_time_inversely_proportional_to_throughput():
+    array = SystolicArraySpec()
+    assert array.compute_seconds(array.effective_ops_per_second) == pytest.approx(1.0)
+    assert array.compute_seconds(0) == 0.0
+
+
+def test_invalid_array_rejected():
+    with pytest.raises(ValueError):
+        SystolicArraySpec(rows=0)
+    with pytest.raises(ValueError):
+        SystolicArraySpec(utilization=1.5)
+    with pytest.raises(ValueError):
+        SystolicArraySpec().compute_seconds(-1)
+
+
+# -- SFU ------------------------------------------------------------------------
+def test_sfu_latency_includes_invocation_overhead():
+    sfu = SpecialFunctionUnitSpec()
+    one_call = sfu.compute_seconds(16384, invocations=1)
+    two_calls = sfu.compute_seconds(16384, invocations=2)
+    assert two_calls == pytest.approx(one_call + sfu.invoke_overhead_s)
+
+
+def test_sfu_softmax_is_microseconds_not_milliseconds():
+    """SFU work must stay tiny relative to weight streaming (Section IV-A)."""
+    sfu = SpecialFunctionUnitSpec()
+    assert sfu.compute_seconds(32 * 1001, invocations=1) < 10e-6
+
+
+def test_sfu_invalid_arguments_rejected():
+    with pytest.raises(ValueError):
+        SpecialFunctionUnitSpec(lanes=0)
+    with pytest.raises(ValueError):
+        SpecialFunctionUnitSpec().compute_seconds(-1)
+
+
+# -- DRAM ------------------------------------------------------------------------
+def test_lpddr_default_matches_table2():
+    dram = DRAMSpec()
+    assert dram.bandwidth_bytes_per_s == pytest.approx(40 * GB)
+    assert dram.fits(700e6)  # the 70B KV cache budget
+
+
+def test_dram_transfer_time_uses_effective_bandwidth():
+    dram = DRAMSpec(bandwidth_bytes_per_s=40 * GB, efficiency=0.5)
+    assert dram.transfer_seconds(20 * GB) == pytest.approx(1.0)
+
+
+def test_dram_invalid_arguments_rejected():
+    with pytest.raises(ValueError):
+        DRAMSpec(bandwidth_bytes_per_s=0)
+    with pytest.raises(ValueError):
+        DRAMSpec(efficiency=0.0)
+    with pytest.raises(ValueError):
+        DRAMSpec().transfer_seconds(-1)
+
+
+# -- buffers ------------------------------------------------------------------------
+def test_buffer_sizing_rule_grows_with_channels():
+    """Section VIII-E: more channels require a proportionally larger buffer."""
+    need_8 = BufferSpec.required_weight_buffer(8, 16 * KiB)
+    need_32 = BufferSpec.required_weight_buffer(32, 16 * KiB)
+    assert need_32 == 4 * need_8
+    assert BufferSpec().supports_channels(8, 16 * KiB)
+
+
+def test_buffer_invalid_arguments_rejected():
+    with pytest.raises(ValueError):
+        BufferSpec(weight_buffer_bytes=0)
+    with pytest.raises(ValueError):
+        BufferSpec.required_weight_buffer(0, 16 * KiB)
+
+
+# -- aggregate NPU ----------------------------------------------------------------
+def test_attention_latency_is_max_of_fetch_and_compute():
+    npu = NPUSpec()
+    fetch_bound = npu.attention_seconds(kv_bytes=400e6, ops=1e6)
+    compute_bound = npu.attention_seconds(kv_bytes=1e3, ops=1e12)
+    assert fetch_bound == pytest.approx(npu.dram.transfer_seconds(400e6))
+    assert compute_bound == pytest.approx(npu.systolic.compute_seconds(1e12))
+
+
+def test_weight_stream_compute_counts_two_ops_per_element():
+    npu = NPUSpec()
+    assert npu.weight_stream_compute_seconds(1e9) == pytest.approx(
+        npu.systolic.compute_seconds(2e9)
+    )
+
+
+def test_kv_cache_fits_check():
+    npu = NPUSpec()
+    assert npu.kv_cache_fits(1e9)
+    assert not npu.kv_cache_fits(1e12)
+
+
+@given(ops=st.floats(min_value=0, max_value=1e14, allow_nan=False))
+def test_compute_seconds_monotone_in_ops(ops):
+    npu = NPUSpec()
+    assert npu.gemv_compute_seconds(ops) <= npu.gemv_compute_seconds(ops + 1e6)

@@ -1,0 +1,118 @@
+"""Tests for quantization schemes and outlier statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quant.outliers import (
+    find_outliers,
+    outlier_count,
+    outlier_mass_fraction,
+    outlier_threshold,
+)
+from repro.quant.schemes import W4_RTN, W4A16, W8A8, dequantize_tensor, quantize_tensor
+
+
+# -- schemes -----------------------------------------------------------------
+def test_paper_operating_points():
+    assert (W8A8.weight_bits, W8A8.activation_bits) == (8, 8)
+    assert (W4A16.weight_bits, W4A16.activation_bits) == (4, 16)
+    assert W4_RTN.weight_bits == 4
+
+
+def test_model_bytes_for_70b_int8():
+    assert W8A8.model_bytes(70e9) == pytest.approx(70e9)
+    assert W4A16.model_bytes(70e9) == pytest.approx(35e9)
+
+
+def test_quantize_roundtrip_error_bounded_by_half_step():
+    rng = np.random.default_rng(0)
+    values = rng.normal(size=4096).astype(np.float32)
+    codes, scale = quantize_tensor(values, bits=8)
+    recovered = dequantize_tensor(codes, scale)
+    assert np.max(np.abs(recovered - values)) <= 0.51 * scale
+    assert codes.dtype == np.int8
+
+
+def test_quantize_scale_set_by_largest_magnitude():
+    values = np.array([0.01, -0.02, 4.0], dtype=np.float32)
+    codes, scale = quantize_tensor(values, bits=8)
+    assert scale == pytest.approx(4.0 / 127)
+    assert codes[2] == 127
+
+
+def test_quantize_rejects_bad_input():
+    with pytest.raises(ValueError):
+        quantize_tensor(np.array([]), bits=8)
+    with pytest.raises(ValueError):
+        quantize_tensor(np.ones(4), bits=1)
+    with pytest.raises(ValueError):
+        dequantize_tensor(np.ones(4, dtype=np.int8), 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=arrays(
+        np.float32,
+        st.integers(min_value=1, max_value=512),
+        elements=st.floats(min_value=-100, max_value=100, width=32),
+    ),
+    bits=st.sampled_from([4, 8]),
+)
+def test_quantization_error_property(values, bits):
+    """Property: reconstruction error never exceeds half a quantization step."""
+    codes, scale = quantize_tensor(values, bits=bits)
+    recovered = dequantize_tensor(codes, scale)
+    assert np.all(np.abs(recovered - values) <= 0.51 * scale + 1e-6)
+
+
+# -- outliers -----------------------------------------------------------------
+def test_outlier_count_matches_paper_163_per_page():
+    """Section VI: 1 % of a 16384-element page is 163 protected values."""
+    assert outlier_count(16384, 0.01) == 164 or outlier_count(16384, 0.01) == 163
+
+
+def test_find_outliers_returns_largest_magnitudes():
+    codes = np.zeros(1000, dtype=np.int8)
+    codes[10] = 100
+    codes[20] = -120
+    codes[30] = 50
+    stats = find_outliers(codes, fraction=0.003)
+    assert set(stats.indices.tolist()) == {10, 20, 30}
+    assert stats.threshold == 50
+    assert outlier_threshold(codes, 0.003) == 50
+
+
+def test_outlier_mass_fraction_high_for_heavy_tailed_weights():
+    rng = np.random.default_rng(1)
+    weights = rng.normal(scale=0.01, size=10000)
+    outlier_positions = rng.choice(10000, size=100, replace=False)
+    weights[outlier_positions] = rng.normal(scale=1.0, size=100)
+    assert outlier_mass_fraction(weights, 0.01) > 0.8
+
+
+def test_outlier_functions_reject_bad_arguments():
+    with pytest.raises(ValueError):
+        outlier_count(0, 0.01)
+    with pytest.raises(ValueError):
+        outlier_count(100, 0.0)
+    with pytest.raises(ValueError):
+        outlier_mass_fraction(np.array([]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    codes=arrays(
+        np.int8, st.integers(min_value=10, max_value=2000),
+        elements=st.integers(min_value=-127, max_value=127),
+    )
+)
+def test_outlier_selection_property(codes):
+    """Property: every unprotected value is <= threshold in magnitude."""
+    stats = find_outliers(codes, fraction=0.01)
+    protected = np.zeros(codes.size, dtype=bool)
+    protected[stats.indices] = True
+    unprotected_magnitudes = np.abs(codes[~protected].astype(np.int16))
+    if unprotected_magnitudes.size:
+        assert unprotected_magnitudes.max() <= stats.threshold

@@ -1,0 +1,37 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_decode_command_prints_report(capsys):
+    assert main(["decode", "opt-6.7b", "--config", "S"]) == 0
+    output = capsys.readouterr().out
+    assert "Decode report" in output
+    assert "decode speed (token/s)" in output
+
+
+def test_compare_command_lists_all_systems(capsys):
+    assert main(["compare", "llama2-70b"]) == 0
+    output = capsys.readouterr().out
+    for system in ("Cambricon-LLM-S", "Cambricon-LLM-L", "FlexGen-SSD", "MLC-LLM"):
+        assert system in output
+    assert "OOM" in output  # 70B does not fit on the phone
+
+
+def test_sweep_command_reports_each_point(capsys):
+    assert main(["sweep", "opt-6.7b", "--chips", "1", "4"]) == 0
+    output = capsys.readouterr().out
+    assert "Chip-count sweep" in output
+    assert output.count("\n") > 4
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(SystemExit):
+        main(["decode", "gpt-5"])
+
+
+def test_parser_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

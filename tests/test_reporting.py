@@ -1,0 +1,37 @@
+"""Tests for the table-formatting helpers."""
+
+import pytest
+
+from repro.reporting import format_table, print_table
+
+
+def test_format_table_aligns_columns():
+    table = format_table(
+        ["model", "tokens/s"],
+        [["opt-6.7b", 3.71], ["llama2-70b", 3.97]],
+    )
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("model")
+    assert all(len(line) == len(lines[0]) or len(line) <= len(lines[0]) + 2 for line in lines)
+    assert "3.71" in table and "3.97" in table
+
+
+def test_format_table_formats_small_and_large_numbers():
+    table = format_table(["x"], [[0.0001], [123456.0], [True], [0.0]])
+    assert "0.0001" in table
+    assert "1.23e+05" in table
+    assert "yes" in table
+    assert "\n0" in table
+
+
+def test_row_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_print_table_writes_title(capsys):
+    print_table("Fig. 9a", ["model"], [["opt-6.7b"]])
+    output = capsys.readouterr().out
+    assert "Fig. 9a" in output
+    assert "opt-6.7b" in output

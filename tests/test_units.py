@@ -1,0 +1,37 @@
+"""Tests for the shared units module."""
+
+import pytest
+
+from repro import units
+
+
+def test_binary_and_decimal_prefixes_differ():
+    assert units.KiB == 1024
+    assert units.KB == 1000
+    assert units.GiB == 1024**3
+    assert units.GB == 1000**3
+
+
+def test_time_constants_are_seconds():
+    assert units.US == pytest.approx(1e-6)
+    assert 30 * units.US == pytest.approx(3e-5)
+
+
+def test_bytes_per_element_fractional_for_sub_byte():
+    assert units.bytes_per_element(8) == 1.0
+    assert units.bytes_per_element(4) == 0.5
+    assert units.bytes_per_element(16) == 2.0
+
+
+def test_bytes_per_element_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.bytes_per_element(0)
+
+
+def test_tokens_per_second_inverts_latency():
+    assert units.to_tokens_per_second(0.25) == pytest.approx(4.0)
+
+
+def test_tokens_per_second_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.to_tokens_per_second(0.0)
