@@ -7,15 +7,46 @@ hardware-aware tiling scheduler, the outlier-oriented on-die ECC, the
 offloading baselines and the full benchmark harness that regenerates the
 paper's tables and figures.
 
-Quick start::
+Quick start — the unified Backend/Request/Result API drives every system::
 
-    from repro import InferenceEngine, cambricon_llm_l
+    from repro import ExperimentRunner, InferenceRequest, get_backend
 
-    engine = InferenceEngine(cambricon_llm_l())
-    report = engine.decode_report("llama2-70b")
-    print(report.tokens_per_second)
+    # One request on one backend:
+    result = get_backend("cambricon").run(
+        InferenceRequest(model="llama2-70b", config="L", seq_len=4000)
+    )
+    print(result.tokens_per_second, result.time_to_first_token_s)
+
+    # A memoized, concurrent grid across systems (Fig. 9 in four lines):
+    runner = ExperimentRunner()
+    results = runner.run_grid(
+        backends=["cambricon", "flexgen-ssd", "flexgen-dram", "mlc-llm"],
+        models=["llama2-7b", "llama2-70b"],
+        configs=["S", "M", "L"],
+    )
+    print(results.to_markdown())
+
+New systems plug in with ``register_backend("name", MyBackend)`` and
+immediately work in grids and the ``python -m repro grid`` CLI.  The
+lower-level models (:class:`InferenceEngine`, the baseline classes, the ECC
+and accuracy studies) remain available for system-specific detail.
 """
 
+from repro.api import (
+    Backend,
+    CambriconBackend,
+    ExperimentRunner,
+    FlexGenDRAMBackend,
+    FlexGenSSDBackend,
+    InferenceRequest,
+    MLCLLMBackend,
+    OffloadingBackend,
+    ResultSet,
+    RunResult,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 from repro.core import (
     CambriconLLMConfig,
     DecodeReport,
@@ -35,10 +66,25 @@ from repro.baselines import FlexGenDRAM, FlexGenSSD, MLCLLM
 from repro.ecc import BitFlipErrorModel, PageCodec, PageLayout
 from repro.accuracy import ErrorInjectionStudy, ProxyLLM, paper_tasks
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # unified API
+    "Backend",
+    "InferenceRequest",
+    "RunResult",
+    "ResultSet",
+    "ExperimentRunner",
+    "register_backend",
+    "get_backend",
+    "list_backends",
+    "CambriconBackend",
+    "OffloadingBackend",
+    "FlexGenSSDBackend",
+    "FlexGenDRAMBackend",
+    "MLCLLMBackend",
+    # core performance model
     "CambriconLLMConfig",
     "InferenceEngine",
     "DecodeReport",
@@ -49,18 +95,22 @@ __all__ = [
     "cambricon_llm_m",
     "cambricon_llm_l",
     "get_config",
+    # model zoo and workloads
     "ModelSpec",
     "DecodeWorkload",
     "get_model",
     "list_models",
+    # substrates
     "FlashGeometry",
     "FlashTiming",
     "SliceControl",
     "SlicePolicy",
     "NPUSpec",
+    # baselines
     "FlexGenSSD",
     "FlexGenDRAM",
     "MLCLLM",
+    # reliability and accuracy studies
     "BitFlipErrorModel",
     "PageCodec",
     "PageLayout",

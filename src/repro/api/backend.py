@@ -1,0 +1,81 @@
+"""The backend protocol and the string-keyed backend registry.
+
+Any system that can execute an :class:`repro.api.request.InferenceRequest`
+is a backend: it exposes a ``name`` and a single ``run`` method returning a
+:class:`repro.api.result.RunResult`.  Backends register under a string key
+so CLI commands and experiment grids can refer to them by name; new systems
+plug in with one :func:`register_backend` call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.api.request import InferenceRequest
+from repro.api.result import RunResult
+
+try:  # pragma: no cover - typing fallback for very old interpreters
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Anything that can run an :class:`InferenceRequest`."""
+
+    name: str
+
+    def run(self, request: InferenceRequest) -> RunResult:  # pragma: no cover
+        """Execute the request and return the unified result."""
+        ...
+
+
+BackendFactory = Callable[[], Backend]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(
+    name: str, factory: BackendFactory, *, overwrite: bool = False
+) -> None:
+    """Register ``factory`` (a zero-argument callable) under ``name``.
+
+    Raises :class:`ValueError` if the name is taken and ``overwrite`` is
+    false, so accidental shadowing of a built-in backend is loud.
+    """
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"backend {name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    _REGISTRY[key] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend registration (mainly for tests)."""
+    _REGISTRY.pop(name.lower(), None)
+
+
+def get_backend(name: str) -> Backend:
+    """Instantiate the backend registered under ``name``.
+
+    Raises :class:`KeyError` naming the available backends on a miss.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown backend {name!r}; available: {', '.join(list_backends())}"
+        )
+    return _REGISTRY[key]()
+
+
+def list_backends() -> List[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_REGISTRY)

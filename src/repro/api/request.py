@@ -1,0 +1,88 @@
+"""The unified inference request specification.
+
+An :class:`InferenceRequest` describes *what* to run — model, context
+length, number of generated tokens, batch size and optional quantization
+overrides — independently of *which* system runs it.  Every backend
+(:mod:`repro.api.adapters`) accepts the same request and returns the same
+:class:`repro.api.result.RunResult`, which is what makes grid sweeps and
+cross-system comparisons uniform.
+
+Requests are frozen and hashable so the :class:`repro.api.runner.ExperimentRunner`
+can memoize on them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from repro.llm.models import ModelSpec
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One generation job: prefill a prompt, then decode ``gen_tokens`` tokens.
+
+    Parameters
+    ----------
+    model:
+        Model-zoo name (``"opt-6.7b"``, ``"llama2-70b"``, ...) or a custom
+        :class:`ModelSpec` (frozen, so requests stay hashable).
+    config:
+        Backend-specific hardware configuration key.  The Cambricon backend
+        interprets ``"S"``/``"M"``/``"L"`` (Table II); the offloading
+        baselines ignore it.
+    seq_len:
+        Prompt length — the KV-cache context present when decode starts.
+    gen_tokens:
+        Number of tokens decoded after prefill; the KV cache grows by one
+        entry per step, so later tokens are slower.
+    batch_size:
+        Sequences decoded together.  Weight streaming amortizes across the
+        batch while KV-cache traffic and attention compute scale with it.
+    weight_bits / activation_bits:
+        Optional quantization overrides (e.g. W4A16 of Fig. 11).  Backends
+        with a fixed precision (the baselines) ignore them.
+    """
+
+    model: Union[str, ModelSpec]
+    config: Optional[str] = None
+    seq_len: int = 1000
+    gen_tokens: int = 1
+    batch_size: int = 1
+    weight_bits: Optional[int] = None
+    activation_bits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.model:
+            raise ValueError("model must be a non-empty model name")
+        if self.seq_len < 1:
+            raise ValueError("seq_len must be at least 1")
+        if self.gen_tokens < 1:
+            raise ValueError("gen_tokens must be at least 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        for name in ("weight_bits", "activation_bits"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive when given")
+
+    # -- convenience ---------------------------------------------------------
+    @property
+    def model_name(self) -> str:
+        """The model's name regardless of how ``model`` was given."""
+        return self.model if isinstance(self.model, str) else self.model.name
+
+    @property
+    def total_generated_tokens(self) -> int:
+        """Tokens produced by the whole job (batch x generated)."""
+        return self.batch_size * self.gen_tokens
+
+    @property
+    def final_seq_len(self) -> int:
+        """Context length seen by the last decode step."""
+        return self.seq_len + self.gen_tokens - 1
+
+    def with_overrides(self, **changes: object) -> "InferenceRequest":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,221 @@
+"""The unified run result and the result-set container.
+
+Every backend returns a :class:`RunResult` with the same fields regardless
+of the underlying system, so Cambricon-LLM configurations and the
+FlexGen/MLC-LLM baselines can sit in one table.  A :class:`ResultSet`
+collects the results of a grid sweep and offers filtering, selection and
+CSV/markdown export.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.api.request import InferenceRequest
+
+#: Canonical phase keys used in :attr:`RunResult.phase_seconds`.
+PREFILL_PHASE = "prefill"
+DECODE_PHASE = "decode"
+
+
+@dataclass(frozen=True, eq=False)
+class RunResult:
+    """Performance of one :class:`InferenceRequest` on one backend.
+
+    ``detail`` carries the backend's native report (a
+    :class:`repro.core.metrics.DecodeReport` or
+    :class:`repro.baselines.common.BaselineResult`) for callers that need
+    system-specific depth; everything above it is backend-agnostic.
+    """
+
+    backend_name: str
+    model_name: str
+    request: InferenceRequest
+    #: Steady-state decode throughput in generated tokens/s (batch-aggregate).
+    tokens_per_second: float
+    #: Prefill latency — time until the first token is available.
+    time_to_first_token_s: float
+    #: Average wall time of one decode step (produces ``batch_size`` tokens).
+    decode_step_seconds: float
+    #: Prefill plus all decode steps.
+    total_seconds: float
+    #: Per-phase wall time, keyed by ``PREFILL_PHASE`` / ``DECODE_PHASE``.
+    phase_seconds: Dict[str, float]
+    #: External bytes moved per generated token.
+    traffic_bytes_per_token: float
+    #: Dominant limiter, e.g. ``"weight-delivery"`` or ``"offload-bandwidth"``.
+    bottleneck: str
+    #: Energy hook: joules per generated token when the backend models energy.
+    energy_joules_per_token: Optional[float] = None
+    out_of_memory: bool = False
+    error: Optional[str] = None
+    #: Backend-native report (DecodeReport / BaselineResult), if any.
+    detail: object = None
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def supported(self) -> bool:
+        return not self.out_of_memory
+
+    def summary_row(self) -> List[object]:
+        """One printable table row (see :meth:`ResultSet.to_rows`)."""
+        request = self.request
+        return [
+            self.backend_name,
+            self.model_name,
+            request.config if request.config is not None else "-",
+            request.seq_len,
+            request.batch_size,
+            request.gen_tokens,
+            "OOM" if self.out_of_memory else self.tokens_per_second,
+            1e3 * self.time_to_first_token_s if self.supported else "-",
+            self.traffic_bytes_per_token / 1e9 if self.supported else "-",
+            self.energy_joules_per_token,
+            self.bottleneck,
+        ]
+
+
+#: Header row matching :meth:`RunResult.summary_row`.
+SUMMARY_HEADERS = [
+    "backend",
+    "model",
+    "config",
+    "seq_len",
+    "batch",
+    "gen",
+    "token/s",
+    "TTFT (ms)",
+    "traffic/tok (GB)",
+    "energy/tok (J)",
+    "bottleneck",
+]
+
+_CSV_FIELDS = [
+    "backend",
+    "model",
+    "config",
+    "seq_len",
+    "batch_size",
+    "gen_tokens",
+    "tokens_per_second",
+    "time_to_first_token_s",
+    "decode_step_seconds",
+    "total_seconds",
+    "traffic_bytes_per_token",
+    "energy_joules_per_token",
+    "bottleneck",
+    "out_of_memory",
+]
+
+
+class ResultSet:
+    """An ordered collection of :class:`RunResult` with query helpers."""
+
+    def __init__(self, results: Sequence[RunResult]):
+        self._results: List[RunResult] = list(results)
+
+    # -- container protocol --------------------------------------------------
+    def __iter__(self) -> Iterator[RunResult]:
+        return iter(self._results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __getitem__(self, index: int) -> RunResult:
+        return self._results[index]
+
+    @property
+    def results(self) -> List[RunResult]:
+        return list(self._results)
+
+    # -- queries -------------------------------------------------------------
+    def filter(
+        self,
+        predicate: Optional[Callable[[RunResult], bool]] = None,
+        **fields: object,
+    ) -> "ResultSet":
+        """Keep results matching ``predicate`` and every ``field=value`` pair.
+
+        Field names are looked up on the result first (``backend_name``,
+        ``bottleneck``, ...) and fall back to its request (``model``,
+        ``seq_len``, ``batch_size``, ...)::
+
+            results.filter(model="llama2-70b", seq_len=4000)
+        """
+        kept = []
+        for result in self._results:
+            if predicate is not None and not predicate(result):
+                continue
+            if all(self._field(result, k) == v for k, v in fields.items()):
+                kept.append(result)
+        return ResultSet(kept)
+
+    def best(
+        self, metric: str = "tokens_per_second", maximize: bool = True
+    ) -> Optional[RunResult]:
+        """The supported result with the best ``metric`` (None if all OOM)."""
+        candidates = [r for r in self._results if r.supported]
+        if not candidates:
+            return None
+        chooser = max if maximize else min
+        return chooser(candidates, key=lambda r: self._field(r, metric))
+
+    # -- export --------------------------------------------------------------
+    def to_rows(self) -> Tuple[List[str], List[List[object]]]:
+        """(headers, rows) ready for :func:`repro.reporting.print_table`."""
+        return list(SUMMARY_HEADERS), [r.summary_row() for r in self._results]
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """Render as CSV; also write to ``path`` when given."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=_CSV_FIELDS, lineterminator="\n")
+        writer.writeheader()
+        for result in self._results:
+            request = result.request
+            writer.writerow(
+                {
+                    "backend": result.backend_name,
+                    "model": result.model_name,
+                    "config": request.config or "",
+                    "seq_len": request.seq_len,
+                    "batch_size": request.batch_size,
+                    "gen_tokens": request.gen_tokens,
+                    "tokens_per_second": result.tokens_per_second,
+                    "time_to_first_token_s": result.time_to_first_token_s,
+                    "decode_step_seconds": result.decode_step_seconds,
+                    "total_seconds": result.total_seconds,
+                    "traffic_bytes_per_token": result.traffic_bytes_per_token,
+                    "energy_joules_per_token": (
+                        "" if result.energy_joules_per_token is None
+                        else result.energy_joules_per_token
+                    ),
+                    "bottleneck": result.bottleneck,
+                    "out_of_memory": result.out_of_memory,
+                }
+            )
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", newline="") as handle:
+                handle.write(text)
+        return text
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        from repro.reporting import format_markdown_table
+
+        headers, rows = self.to_rows()
+        return format_markdown_table(headers, rows)
+
+    # -- internals -----------------------------------------------------------
+    @staticmethod
+    def _field(result: RunResult, name: str) -> object:
+        if name == "backend":
+            return result.backend_name
+        if name == "model":
+            return result.model_name
+        if hasattr(result, name):
+            return getattr(result, name)
+        return getattr(result.request, name)

@@ -1,0 +1,176 @@
+"""Grid experiment execution with memoization and concurrency.
+
+The :class:`ExperimentRunner` is the one sweep loop the repo needs: it
+takes cartesian grids of (backend x model x config x seq_len x batch x
+gen_tokens), executes the distinct requests concurrently via
+:mod:`concurrent.futures`, memoizes every (backend, request) pair so
+repeated or overlapping grids never re-run the models, and returns a
+:class:`repro.api.result.ResultSet`.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from itertools import product
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.api.backend import Backend, get_backend
+from repro.api.request import InferenceRequest
+from repro.api.result import ResultSet, RunResult
+
+BackendLike = Union[str, Backend]
+
+#: Memoization key: (backend identity, normalized request).
+_CacheKey = Tuple[str, InferenceRequest]
+
+
+class ExperimentRunner:
+    """Runs requests against backends with caching and a worker pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread-pool width for grid execution (default: a small multiple of
+        the grid is fine — the models are quick analytical evaluations).
+    """
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = max_workers
+        self._cache: Dict[_CacheKey, RunResult] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # -- single request ------------------------------------------------------
+    def run(self, backend: BackendLike, request: InferenceRequest) -> RunResult:
+        """Run one request, returning the cached result when available."""
+        backend_obj, key = self._resolve(backend, request)
+        with self._lock:
+            if key in self._cache:
+                self._hits += 1
+                return self._cache[key]
+            self._misses += 1
+        result = backend_obj.run(key[1])
+        with self._lock:
+            self._cache.setdefault(key, result)
+        return result
+
+    # -- grids ---------------------------------------------------------------
+    def run_grid(
+        self,
+        backends: Sequence[BackendLike],
+        models: Sequence[str],
+        *,
+        configs: Sequence[Optional[str]] = (None,),
+        seq_lens: Sequence[int] = (1000,),
+        batch_sizes: Sequence[int] = (1,),
+        gen_tokens: Sequence[int] = (1,),
+    ) -> ResultSet:
+        """Evaluate the cartesian grid and return one unified ResultSet.
+
+        Identical (backend, request) points — including points that only
+        differ in fields a backend ignores, such as ``config`` for the
+        offloading baselines — collapse to a single execution.
+        """
+        requests = [
+            InferenceRequest(
+                model=model,
+                config=config,
+                seq_len=seq_len,
+                gen_tokens=gen,
+                batch_size=batch,
+            )
+            for model, config, seq_len, batch, gen in product(
+                models, configs, seq_lens, batch_sizes, gen_tokens
+            )
+        ]
+        return self.run_requests(backends, requests)
+
+    def run_requests(
+        self,
+        backends: Sequence[BackendLike],
+        requests: Iterable[InferenceRequest],
+    ) -> ResultSet:
+        """Run every request on every backend (deduplicated, concurrent)."""
+        requests = list(requests)
+        jobs: List[Tuple[Backend, _CacheKey]] = []
+        ordered_keys: List[_CacheKey] = []
+        pending: Dict[_CacheKey, Backend] = {}
+        with self._lock:
+            for backend in backends:
+                backend_obj = self._instantiate(backend)
+                for request in requests:
+                    key = self._key(backend_obj, request)
+                    ordered_keys.append(key)
+                    if key in self._cache:
+                        self._hits += 1
+                    elif key not in pending:
+                        self._misses += 1
+                        pending[key] = backend_obj
+                    else:
+                        self._hits += 1
+            jobs = [(obj, key) for key, obj in pending.items()]
+
+        if jobs:
+            workers = self.max_workers or min(8, len(jobs))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    key: pool.submit(backend_obj.run, key[1])
+                    for backend_obj, key in jobs
+                }
+            # Cache every completed point before propagating a failure, so
+            # one bad grid point doesn't discard the rest of the sweep.
+            computed, failures = {}, []
+            for key, future in futures.items():
+                try:
+                    computed[key] = future.result()
+                except Exception as exc:  # noqa: BLE001 - re-raised below
+                    failures.append(exc)
+            with self._lock:
+                for key, result in computed.items():
+                    self._cache.setdefault(key, result)
+                self._misses -= len(failures)
+            if failures:
+                raise failures[0]
+
+        with self._lock:
+            results, seen = [], set()
+            for key in ordered_keys:
+                if key not in seen:
+                    seen.add(key)
+                    results.append(self._cache[key])
+        return ResultSet(results)
+
+    # -- cache introspection -------------------------------------------------
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters and the number of memoized results."""
+        with self._lock:
+            return {"hits": self._hits, "misses": self._misses, "size": len(self._cache)}
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
+
+    # -- internals -----------------------------------------------------------
+    @staticmethod
+    def _instantiate(backend: BackendLike) -> Backend:
+        if isinstance(backend, str):
+            return get_backend(backend)
+        return backend
+
+    @staticmethod
+    def _key(backend_obj: Backend, request: InferenceRequest) -> _CacheKey:
+        normalize = getattr(backend_obj, "normalize_request", None)
+        if normalize is not None:
+            request = normalize(request)
+        identity = getattr(backend_obj, "cache_key", backend_obj.name)
+        return (identity, request)
+
+    def _resolve(
+        self, backend: BackendLike, request: InferenceRequest
+    ) -> Tuple[Backend, _CacheKey]:
+        backend_obj = self._instantiate(backend)
+        return backend_obj, self._key(backend_obj, request)

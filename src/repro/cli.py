@@ -1,11 +1,13 @@
 """Command-line interface.
 
-Installed as ``python -m repro``; three subcommands cover the common
-workflows without writing any Python:
+Installed as ``python -m repro``; every subcommand drives the unified
+:mod:`repro.api` Backend/Request/Result layer:
 
 * ``decode``  — decode-speed report for one model on one configuration,
 * ``compare`` — Cambricon-LLM-S/M/L versus the FlexGen / MLC-LLM baselines,
-* ``sweep``   — channel/chip scalability sweep for one model (Fig. 15 style).
+* ``sweep``   — channel/chip scalability sweep for one model (Fig. 15 style),
+* ``grid``    — cartesian (backend x model x config x seq_len x batch)
+  experiment grid with memoized concurrent execution and CSV/markdown export.
 """
 
 from __future__ import annotations
@@ -13,11 +15,18 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional
 
-from repro.baselines import FlexGenDRAM, FlexGenSSD, MLCLLM
-from repro.core import InferenceEngine, get_config
-from repro.core.config import all_paper_configs
+from repro.api import (
+    CambriconBackend,
+    ExperimentRunner,
+    InferenceRequest,
+    list_backends,
+)
+from repro.core import get_config
 from repro.llm.models import list_models
 from repro.reporting import print_table
+
+_CAMBRICON_CONFIGS = ("S", "M", "L")
+_BASELINE_BACKENDS = ("flexgen-ssd", "flexgen-dram", "mlc-llm")
 
 
 def _add_model_argument(parser: argparse.ArgumentParser) -> None:
@@ -28,38 +37,51 @@ def _add_model_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _speed_cell(result) -> object:
+    return "OOM" if result.out_of_memory else result.tokens_per_second
+
+
 def _decode_command(args: argparse.Namespace) -> int:
-    engine = InferenceEngine(get_config(args.config))
-    report = engine.decode_report(args.model, seq_len=args.seq_len)
+    backend = CambriconBackend(config=get_config(args.config))
+    result = backend.run(InferenceRequest(model=args.model, seq_len=args.seq_len))
+    if result.out_of_memory:
+        print(f"{args.model} does not fit on {result.backend_name}: {result.error}")
+        return 1
+    report = result.detail
     print_table(
         f"Decode report — {report.model_name} on {report.config_name}",
         ["metric", "value"],
         [
             ["decode speed (token/s)", report.tokens_per_second],
             ["latency per token (ms)", 1e3 * report.token_seconds],
+            ["time to first token (ms)", 1e3 * result.time_to_first_token_s],
             ["flash share alpha", report.alpha],
             ["tile", report.tile],
             ["channel utilisation (%)", 100 * report.channel_utilization],
             ["external traffic per token (GB)", report.traffic.external_bytes / 1e9],
+            ["energy per token (J)", result.energy_joules_per_token],
+            ["bottleneck", result.bottleneck],
         ],
     )
     return 0
 
 
 def _compare_command(args: argparse.Namespace) -> int:
-    ssd, dram, mlc = FlexGenSSD(), FlexGenDRAM(), MLCLLM()
+    runner = ExperimentRunner()
     rows = []
-    for name, config in all_paper_configs().items():
-        speed = InferenceEngine(config).decode_speed(args.model, seq_len=args.seq_len)
-        rows.append([config.name, f"{speed:.2f}"])
-    rows.append(["FlexGen-SSD", f"{ssd.decode_speed(args.model):.2f}"])
-    rows.append(["FlexGen-DRAM", f"{dram.decode_speed(args.model):.2f}"])
-    mlc_result = mlc.decode_result(args.model)
-    rows.append(
-        ["MLC-LLM", "OOM" if mlc_result.out_of_memory else f"{mlc_result.tokens_per_second:.2f}"]
-    )
+    for config in _CAMBRICON_CONFIGS:
+        result = runner.run(
+            "cambricon",
+            InferenceRequest(model=args.model, config=config, seq_len=args.seq_len),
+        )
+        rows.append([result.backend_name, _speed_cell(result)])
+    for backend in _BASELINE_BACKENDS:
+        result = runner.run(
+            backend, InferenceRequest(model=args.model, seq_len=args.seq_len)
+        )
+        rows.append([result.backend_name, _speed_cell(result)])
     print_table(
-        f"Decode speed comparison — {args.model} (token/s)",
+        f"Decode speed comparison — {args.model} at seq_len {args.seq_len} (token/s)",
         ["system", "token/s"],
         rows,
     )
@@ -68,16 +90,23 @@ def _compare_command(args: argparse.Namespace) -> int:
 
 def _sweep_command(args: argparse.Namespace) -> int:
     base = get_config(args.config)
+    request = InferenceRequest(model=args.model, seq_len=args.seq_len)
     rows = []
     for chips in args.chips:
-        config = base.with_flash_scale(chips_per_channel=chips)
-        report = InferenceEngine(config).decode_report(args.model, seq_len=args.seq_len)
+        backend = CambriconBackend(
+            config=base.with_flash_scale(chips_per_channel=chips), energy=False
+        )
+        result = backend.run(request)
         rows.append(
             [
-                config.flash.channels,
+                backend.config.flash.channels,
                 chips,
-                report.tokens_per_second,
-                100 * report.channel_utilization,
+                "OOM" if result.out_of_memory else result.tokens_per_second,
+                (
+                    100 * result.notes["channel_utilization"]
+                    if result.supported
+                    else "-"
+                ),
             ]
         )
     print_table(
@@ -85,6 +114,29 @@ def _sweep_command(args: argparse.Namespace) -> int:
         ["channels", "chips/channel", "token/s", "channel usage (%)"],
         rows,
     )
+    return 0
+
+
+def _grid_command(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(max_workers=args.workers)
+    results = runner.run_grid(
+        backends=args.backends or list_backends(),
+        models=args.models,
+        configs=args.configs,
+        seq_lens=args.seq_lens,
+        batch_sizes=args.batch_sizes,
+        gen_tokens=args.gen_tokens,
+    )
+    headers, rows = results.to_rows()
+    if args.markdown:
+        print(results.to_markdown())
+    else:
+        print_table("Experiment grid", headers, rows)
+    if args.csv is not None:
+        results.to_csv(args.csv)
+        print(f"\nWrote {len(results)} rows to {args.csv}")
+    info = runner.cache_info()
+    print(f"\n{len(results)} results ({info['misses']} runs, {info['hits']} cache hits)")
     return 0
 
 
@@ -115,6 +167,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="chips-per-channel values to sweep",
     )
     sweep.set_defaults(handler=_sweep_command)
+
+    grid = subparsers.add_parser(
+        "grid", help="run a backend x model x config x seq_len experiment grid"
+    )
+    grid.add_argument(
+        "models", nargs="+", choices=list_models(), help="models to evaluate"
+    )
+    grid.add_argument(
+        "--backends", nargs="+", default=None, metavar="NAME",
+        help=f"registered backends (default: all — {', '.join(list_backends())})",
+    )
+    grid.add_argument(
+        "--configs", nargs="+", default=["L"], metavar="CFG",
+        help="hardware configuration keys for backends that accept them (default L)",
+    )
+    grid.add_argument("--seq-lens", type=int, nargs="+", default=[1000])
+    grid.add_argument("--batch-sizes", type=int, nargs="+", default=[1])
+    grid.add_argument("--gen-tokens", type=int, nargs="+", default=[1])
+    grid.add_argument("--csv", default=None, metavar="PATH", help="also write CSV here")
+    grid.add_argument(
+        "--markdown", action="store_true", help="print a markdown table instead"
+    )
+    grid.add_argument("--workers", type=int, default=None, help="thread-pool width")
+    grid.set_defaults(handler=_grid_command)
     return parser
 
 

@@ -18,7 +18,7 @@ NPU (2 TOPS systolic array + ~40 GB/s LPDDR5X for the KV cache).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.flash.compute_core import ComputeCoreSpec
 from repro.flash.geometry import FlashGeometry
@@ -76,7 +76,9 @@ class CambriconLLMConfig:
         )
 
     def with_flash_scale(
-        self, channels: int = None, chips_per_channel: int = None
+        self,
+        channels: Optional[int] = None,
+        chips_per_channel: Optional[int] = None,
     ) -> "CambriconLLMConfig":
         """Return a copy with a scaled flash array (Fig. 15 sweeps)."""
         return replace(

@@ -38,9 +38,26 @@ class CambriconEnergyModel:
 
     def report(self, model: "ModelSpec | str", seq_len: int = 1000) -> EnergyReport:
         decode: DecodeReport = self.engine.decode_report(model, seq_len)
+        return self.report_for_decode(decode, seq_len=seq_len, model=model)
+
+    def report_for_decode(
+        self,
+        decode: DecodeReport,
+        seq_len: int = 1000,
+        model: "ModelSpec | str | None" = None,
+    ) -> EnergyReport:
+        """Energy accounting for an already-computed :class:`DecodeReport`.
+
+        Used by :class:`repro.api.adapters.CambriconBackend` so the energy
+        hook does not re-run the performance model.  ``model`` lets callers
+        pass a custom :class:`ModelSpec` that is not in the zoo; by default
+        the spec is resolved from ``decode.model_name``.
+        """
         traffic = decode.traffic
+        if model is None or isinstance(model, str):
+            model = get_model(decode.model_name)
         workload = DecodeWorkload(
-            get_model(decode.model_name) if isinstance(model, str) else model,
+            model,
             seq_len=seq_len,
             weight_bits=self.engine.config.weight_bits,
             activation_bits=self.engine.config.activation_bits,

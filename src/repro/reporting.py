@@ -36,7 +36,30 @@ def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[obje
     print(format_table(headers, rows))
 
 
+def format_markdown_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table.
+
+    Cells share the numeric formatting of :func:`format_table`, so CLI and
+    markdown output stay consistent.
+    """
+    rendered_headers = [str(h) for h in headers]
+    lines = [
+        "| " + " | ".join(rendered_headers) + " |",
+        "| " + " | ".join("---" for _ in rendered_headers) + " |",
+    ]
+    for row in rows:
+        cells = [_format_cell(cell) for cell in row]
+        if len(cells) != len(rendered_headers):
+            raise ValueError("row length does not match header length")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
 def _format_cell(cell: object) -> str:
+    if cell is None:
+        return "-"
     if isinstance(cell, bool):
         return "yes" if cell else "no"
     if isinstance(cell, float):

@@ -1,0 +1,183 @@
+"""Tests for the built-in backend adapters and request semantics."""
+
+import pytest
+
+from repro.api import (
+    CambriconBackend,
+    FlexGenDRAMBackend,
+    FlexGenSSDBackend,
+    InferenceRequest,
+    MLCLLMBackend,
+)
+from repro.baselines import FlexGenDRAM, FlexGenSSD, MLCLLM
+from repro.core import InferenceEngine, cambricon_llm_l, cambricon_llm_s
+from repro.core.metrics import DecodeReport
+
+
+# -- request validation -------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"model": ""},
+        {"model": "opt-6.7b", "seq_len": 0},
+        {"model": "opt-6.7b", "gen_tokens": 0},
+        {"model": "opt-6.7b", "batch_size": 0},
+        {"model": "opt-6.7b", "weight_bits": -4},
+    ],
+)
+def test_invalid_requests_are_rejected(kwargs):
+    with pytest.raises(ValueError):
+        InferenceRequest(**kwargs)
+
+
+def test_requests_are_hashable_and_comparable():
+    a = InferenceRequest(model="opt-6.7b", seq_len=1000)
+    b = InferenceRequest(model="opt-6.7b", seq_len=1000)
+    assert a == b and hash(a) == hash(b)
+    assert a.with_overrides(seq_len=2000) != a
+
+
+# -- parity with the legacy entry points -------------------------------------
+
+def test_cambricon_result_matches_legacy_decode_report():
+    engine = InferenceEngine(cambricon_llm_s())
+    legacy = engine.decode_report("opt-6.7b", seq_len=1000)
+    result = CambriconBackend(config=cambricon_llm_s()).run(
+        InferenceRequest(model="opt-6.7b", seq_len=1000)
+    )
+    assert result.tokens_per_second == pytest.approx(legacy.tokens_per_second)
+    assert result.decode_step_seconds == pytest.approx(legacy.token_seconds)
+    assert result.traffic_bytes_per_token == pytest.approx(
+        legacy.traffic.external_bytes
+    )
+    assert isinstance(result.detail, DecodeReport)
+    assert result.energy_joules_per_token > 0
+    assert result.phase_seconds["prefill"] == result.time_to_first_token_s
+
+
+@pytest.mark.parametrize(
+    "backend_cls, baseline_cls",
+    [
+        (FlexGenSSDBackend, FlexGenSSD),
+        (FlexGenDRAMBackend, FlexGenDRAM),
+        (MLCLLMBackend, MLCLLM),
+    ],
+)
+def test_baseline_results_match_legacy_decode_result(backend_cls, baseline_cls):
+    legacy = baseline_cls().decode_result("llama2-7b", seq_len=1000)
+    result = backend_cls().run(InferenceRequest(model="llama2-7b", seq_len=1000))
+    assert result.tokens_per_second == pytest.approx(legacy.tokens_per_second)
+    assert result.bottleneck == legacy.bottleneck
+    assert result.detail == legacy
+
+
+def test_legacy_shims_still_delegate():
+    """The pre-API entry points keep working (acceptance criterion)."""
+    report = InferenceEngine(cambricon_llm_l()).decode_report("llama2-70b")
+    assert report.tokens_per_second >= 3.0
+    assert MLCLLM().decode_result("llama2-70b").out_of_memory
+
+
+# -- out-of-memory handling ---------------------------------------------------
+
+def test_mlc_oom_is_a_result_not_an_exception():
+    result = MLCLLMBackend().run(InferenceRequest(model="llama2-70b"))
+    assert result.out_of_memory and not result.supported
+    assert result.tokens_per_second == 0.0
+    assert result.error
+
+
+def test_cambricon_oom_is_a_result_not_an_exception():
+    tiny = cambricon_llm_s().with_flash_scale(channels=1, chips_per_channel=1)
+    result = CambriconBackend(config=tiny).run(InferenceRequest(model="llama2-70b"))
+    assert result.out_of_memory
+    assert result.bottleneck == "capacity"
+
+
+# -- generalized request semantics --------------------------------------------
+
+def test_longer_generation_slows_average_step_via_kv_growth():
+    backend = CambriconBackend(config=cambricon_llm_l(), energy=False)
+    short = backend.run(InferenceRequest(model="opt-6.7b", seq_len=500))
+    long = backend.run(
+        InferenceRequest(model="opt-6.7b", seq_len=500, gen_tokens=4000)
+    )
+    assert long.decode_step_seconds > short.decode_step_seconds
+    assert long.total_seconds > short.total_seconds
+
+
+def test_batching_amortizes_weight_streaming():
+    backend = CambriconBackend(config=cambricon_llm_s(), energy=False)
+    single = backend.run(InferenceRequest(model="opt-6.7b"))
+    batched = backend.run(InferenceRequest(model="opt-6.7b", batch_size=8))
+    assert batched.tokens_per_second > 2 * single.tokens_per_second
+    # Per-step latency still grows: the KV fetches serialize.
+    assert batched.decode_step_seconds > single.decode_step_seconds
+
+
+def test_batching_helps_baselines_too():
+    backend = FlexGenSSDBackend()
+    single = backend.run(InferenceRequest(model="opt-6.7b"))
+    batched = backend.run(InferenceRequest(model="opt-6.7b", batch_size=4))
+    assert batched.tokens_per_second > 2 * single.tokens_per_second
+
+
+def test_quantization_override_speeds_up_cambricon():
+    w8 = CambriconBackend(energy=False).run(
+        InferenceRequest(model="opt-6.7b", config="S")
+    )
+    w4 = CambriconBackend(energy=False).run(
+        InferenceRequest(model="opt-6.7b", config="S", weight_bits=4, activation_bits=16)
+    )
+    assert 1.3 < w4.tokens_per_second / w8.tokens_per_second < 2.0
+
+
+def test_baselines_honor_seq_len():
+    """Regression for the CLI compare bug: seq_len must reach the baselines."""
+    backend = FlexGenDRAMBackend()
+    short = backend.run(InferenceRequest(model="opt-66b", seq_len=100))
+    long = backend.run(InferenceRequest(model="opt-66b", seq_len=8000))
+    assert long.traffic_bytes_per_token > short.traffic_bytes_per_token
+
+
+def test_ttft_scales_with_prompt_length():
+    backend = CambriconBackend(config=cambricon_llm_l(), energy=False)
+    short = backend.run(InferenceRequest(model="llama2-7b", seq_len=128))
+    long = backend.run(InferenceRequest(model="llama2-7b", seq_len=4000))
+    assert long.time_to_first_token_s > short.time_to_first_token_s
+    assert short.time_to_first_token_s > 0
+
+
+def test_custom_model_spec_requests_and_shims_work():
+    """Unregistered ModelSpec objects flow through requests and shims."""
+    from dataclasses import replace
+
+    from repro.llm.models import get_model
+
+    spec = replace(get_model("llama2-7b"), name="my-custom-model")
+    result = CambriconBackend(config=cambricon_llm_s()).run(
+        InferenceRequest(model=spec)
+    )
+    assert result.model_name == "my-custom-model"
+    assert result.tokens_per_second > 0
+    # Legacy shims accept specs too (pre-API behaviour).
+    report = InferenceEngine(cambricon_llm_s()).decode_report(spec)
+    assert report.model_name == "my-custom-model"
+    assert FlexGenSSD().decode_result(spec).model_name == "my-custom-model"
+
+
+def test_ablation_engines_get_distinct_cache_keys():
+    """Engine flags must be part of the memoization identity."""
+    default = CambriconBackend(engine=InferenceEngine(cambricon_llm_s()))
+    ablated = CambriconBackend(
+        engine=InferenceEngine(cambricon_llm_s(), offload_to_npu=False)
+    )
+    assert default.cache_key != ablated.cache_key
+
+
+def test_config_normalization_keeps_fixed_config_requests_equal():
+    backend = CambriconBackend(config=cambricon_llm_s())
+    a = backend.normalize_request(InferenceRequest(model="opt-6.7b", config="L"))
+    b = backend.normalize_request(InferenceRequest(model="opt-6.7b"))
+    assert a == b

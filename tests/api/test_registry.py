@@ -1,0 +1,60 @@
+"""Tests for the backend registry."""
+
+import pytest
+
+from repro.api import (
+    InferenceRequest,
+    get_backend,
+    list_backends,
+    register_backend,
+    unregister_backend,
+)
+
+
+def test_builtin_backends_are_registered():
+    names = list_backends()
+    for name in ("cambricon", "flexgen-ssd", "flexgen-dram", "mlc-llm"):
+        assert name in names
+
+
+def test_get_backend_returns_runnable_backend():
+    backend = get_backend("mlc-llm")
+    result = backend.run(InferenceRequest(model="llama2-7b"))
+    assert result.tokens_per_second > 0
+
+
+def test_lookup_is_case_insensitive():
+    assert get_backend("MLC-LLM").name == "mlc-llm"
+
+
+def test_unknown_backend_raises_keyerror_naming_alternatives():
+    with pytest.raises(KeyError, match="cambricon"):
+        get_backend("does-not-exist")
+
+
+def test_duplicate_registration_is_rejected_without_overwrite():
+    with pytest.raises(ValueError, match="already registered"):
+        register_backend("cambricon", lambda: None)
+
+
+def test_register_and_unregister_custom_backend():
+    class ToyBackend:
+        name = "toy"
+
+        def run(self, request):
+            raise NotImplementedError
+
+    register_backend("toy", ToyBackend)
+    try:
+        assert "toy" in list_backends()
+        assert isinstance(get_backend("toy"), ToyBackend)
+        # Re-registration is allowed when explicitly requested.
+        register_backend("toy", ToyBackend, overwrite=True)
+    finally:
+        unregister_backend("toy")
+    assert "toy" not in list_backends()
+
+
+def test_empty_name_is_rejected():
+    with pytest.raises(ValueError):
+        register_backend("", lambda: None)

@@ -27,6 +27,63 @@ def test_sweep_command_reports_each_point(capsys):
     assert output.count("\n") > 4
 
 
+def test_compare_command_passes_seq_len_through():
+    parser = build_parser()
+    args = parser.parse_args(["compare", "llama2-70b", "--seq-len", "4000"])
+    assert args.seq_len == 4000
+
+
+def test_compare_command_reports_requested_seq_len(capsys):
+    assert main(["compare", "llama2-7b", "--seq-len", "2000"]) == 0
+    assert "seq_len 2000" in capsys.readouterr().out
+
+
+def test_grid_command_round_trip(capsys, tmp_path):
+    """The grid subcommand prints a unified table and writes parseable CSV."""
+    import csv
+
+    csv_path = tmp_path / "grid.csv"
+    assert (
+        main(
+            [
+                "grid",
+                "llama2-7b",
+                "llama2-70b",
+                "--backends",
+                "cambricon",
+                "mlc-llm",
+                "--configs",
+                "S",
+                "--seq-lens",
+                "1000",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        == 0
+    )
+    output = capsys.readouterr().out
+    for name in ("Cambricon-LLM-S", "MLC-LLM", "OOM"):
+        assert name in output
+    with open(csv_path, newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 4  # 2 backends x 2 models
+    by_key = {(r["backend"], r["model"]): r for r in rows}
+    assert by_key[("MLC-LLM", "llama2-70b")]["out_of_memory"] == "True"
+    assert float(by_key[("Cambricon-LLM-S", "llama2-7b")]["tokens_per_second"]) > 0
+
+
+def test_grid_command_markdown_output(capsys):
+    assert main(["grid", "llama2-7b", "--backends", "mlc-llm", "--markdown"]) == 0
+    output = capsys.readouterr().out
+    assert "| backend |" in output
+
+
+def test_grid_rejects_unknown_backend():
+    with pytest.raises(KeyError):
+        main(["grid", "llama2-7b", "--backends", "no-such-system"])
+
+
 def test_unknown_model_rejected():
     with pytest.raises(SystemExit):
         main(["decode", "gpt-5"])
