@@ -30,6 +30,11 @@ New systems plug in with ``register_backend("name", MyBackend)`` and
 immediately work in grids and the ``python -m repro grid`` CLI.  The
 lower-level models (:class:`InferenceEngine`, the baseline classes, the ECC
 and accuracy studies) remain available for system-specific detail.
+
+On top of the single-job API, :mod:`repro.serving` simulates *queues* of
+timestamped requests — seeded workload generators, pluggable schedulers
+(FCFS / static / continuous batching), SLO percentile reports and a
+``find_max_qps`` capacity search — also exposed as ``python -m repro serve``.
 """
 
 from repro.api import (
@@ -65,8 +70,18 @@ from repro.npu import NPUSpec
 from repro.baselines import FlexGenDRAM, FlexGenSSD, MLCLLM
 from repro.ecc import BitFlipErrorModel, PageCodec, PageLayout
 from repro.accuracy import ErrorInjectionStudy, ProxyLLM, paper_tasks
+from repro.serving import (
+    ContinuousBatchScheduler,
+    FCFSScheduler,
+    PoissonWorkload,
+    ServingReport,
+    SLOSpec,
+    StaticBatchScheduler,
+    find_max_qps,
+    simulate,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -117,4 +132,13 @@ __all__ = [
     "ErrorInjectionStudy",
     "ProxyLLM",
     "paper_tasks",
+    # serving simulator
+    "PoissonWorkload",
+    "FCFSScheduler",
+    "StaticBatchScheduler",
+    "ContinuousBatchScheduler",
+    "simulate",
+    "ServingReport",
+    "SLOSpec",
+    "find_max_qps",
 ]

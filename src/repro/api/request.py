@@ -19,6 +19,14 @@ from typing import Optional, Union
 from repro.llm.models import ModelSpec
 
 
+def _check_integral(name: str, value: object) -> None:
+    """Token and batch counts must be true ints — not bools, not floats."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(
+            f"{name} must be an int, got {value!r} ({type(value).__name__})"
+        )
+
+
 @dataclass(frozen=True)
 class InferenceRequest:
     """One generation job: prefill a prompt, then decode ``gen_tokens`` tokens.
@@ -56,6 +64,8 @@ class InferenceRequest:
     def __post_init__(self) -> None:
         if not self.model:
             raise ValueError("model must be a non-empty model name")
+        for name in ("seq_len", "gen_tokens", "batch_size"):
+            _check_integral(name, getattr(self, name))
         if self.seq_len < 1:
             raise ValueError("seq_len must be at least 1")
         if self.gen_tokens < 1:
@@ -64,8 +74,10 @@ class InferenceRequest:
             raise ValueError("batch_size must be at least 1")
         for name in ("weight_bits", "activation_bits"):
             value = getattr(self, name)
-            if value is not None and value <= 0:
-                raise ValueError(f"{name} must be positive when given")
+            if value is not None:
+                _check_integral(name, value)
+                if value <= 0:
+                    raise ValueError(f"{name} must be positive when given")
 
     # -- convenience ---------------------------------------------------------
     @property

@@ -39,21 +39,52 @@ class ExperimentRunner:
         self.max_workers = max_workers
         self._cache: Dict[_CacheKey, RunResult] = {}
         self._lock = threading.Lock()
+        #: Keys currently executing in some thread; waiters block on the event.
+        self._inflight: Dict[_CacheKey, threading.Event] = {}
         self._hits = 0
         self._misses = 0
 
     # -- single request ------------------------------------------------------
     def run(self, backend: BackendLike, request: InferenceRequest) -> RunResult:
-        """Run one request, returning the cached result when available."""
+        """Run one request, returning the cached result when available.
+
+        Concurrent callers of the same uncached key do not both execute
+        the backend: the first registers the key as in flight, later
+        callers wait on its completion event and reuse the cached result
+        (re-claiming the execution themselves if the first caller failed).
+        """
         backend_obj, key = self._resolve(backend, request)
-        with self._lock:
-            if key in self._cache:
-                self._hits += 1
-                return self._cache[key]
-            self._misses += 1
-        result = backend_obj.run(key[1])
+        return self._run_key(backend_obj, key)
+
+    def _run_key(self, backend_obj: Backend, key: _CacheKey) -> RunResult:
+        """Cache-or-execute one key with in-flight deduplication.
+
+        The single execution path shared by :meth:`run` and the grid
+        pool, so any mix of concurrent callers runs each key once.
+        """
+        while True:
+            with self._lock:
+                if key in self._cache:
+                    self._hits += 1
+                    return self._cache[key]
+                waiter = self._inflight.get(key)
+                if waiter is None:
+                    self._inflight[key] = threading.Event()
+                    self._misses += 1
+                    break
+            waiter.wait()
+            # Either the result is cached now, or the executing thread
+            # failed and cleared the key — loop and take over in that case.
+        try:
+            result = backend_obj.run(key[1])
+        except BaseException:
+            with self._lock:
+                self._misses -= 1  # failed runs leave no phantom miss
+                self._inflight.pop(key).set()
+            raise
         with self._lock:
             self._cache.setdefault(key, result)
+            self._inflight.pop(key).set()
         return result
 
     # -- grids ---------------------------------------------------------------
@@ -94,7 +125,6 @@ class ExperimentRunner:
     ) -> ResultSet:
         """Run every request on every backend (deduplicated, concurrent)."""
         requests = list(requests)
-        jobs: List[Tuple[Backend, _CacheKey]] = []
         ordered_keys: List[_CacheKey] = []
         pending: Dict[_CacheKey, Backend] = {}
         with self._lock:
@@ -105,32 +135,29 @@ class ExperimentRunner:
                     ordered_keys.append(key)
                     if key in self._cache:
                         self._hits += 1
-                    elif key not in pending:
-                        self._misses += 1
-                        pending[key] = backend_obj
-                    else:
+                    elif key in pending:
                         self._hits += 1
-            jobs = [(obj, key) for key, obj in pending.items()]
+                    else:
+                        pending[key] = backend_obj
 
-        if jobs:
-            workers = self.max_workers or min(8, len(jobs))
+        if pending:
+            workers = self.max_workers or min(8, len(pending))
             with ThreadPoolExecutor(max_workers=workers) as pool:
+                # Each job goes through _run_key, so grid execution shares
+                # the in-flight dedup (and hit/miss accounting) with run():
+                # a key being computed anywhere is never executed twice.
                 futures = {
-                    key: pool.submit(backend_obj.run, key[1])
-                    for backend_obj, key in jobs
+                    key: pool.submit(self._run_key, backend_obj, key)
+                    for key, backend_obj in pending.items()
                 }
-            # Cache every completed point before propagating a failure, so
-            # one bad grid point doesn't discard the rest of the sweep.
-            computed, failures = {}, []
-            for key, future in futures.items():
+            # Every completed point is already cached by _run_key, so one
+            # bad grid point doesn't discard the rest of the sweep.
+            failures = []
+            for future in futures.values():
                 try:
-                    computed[key] = future.result()
+                    future.result()
                 except Exception as exc:  # noqa: BLE001 - re-raised below
                     failures.append(exc)
-            with self._lock:
-                for key, result in computed.items():
-                    self._cache.setdefault(key, result)
-                self._misses -= len(failures)
             if failures:
                 raise failures[0]
 

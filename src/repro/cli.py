@@ -7,7 +7,9 @@ Installed as ``python -m repro``; every subcommand drives the unified
 * ``compare`` — Cambricon-LLM-S/M/L versus the FlexGen / MLC-LLM baselines,
 * ``sweep``   — channel/chip scalability sweep for one model (Fig. 15 style),
 * ``grid``    — cartesian (backend x model x config x seq_len x batch)
-  experiment grid with memoized concurrent execution and CSV/markdown export.
+  experiment grid with memoized concurrent execution and CSV/markdown export,
+* ``serve``   — discrete-event multi-request serving simulation (workload ->
+  scheduler -> backend) with SLO percentiles, goodput and capacity search.
 """
 
 from __future__ import annotations
@@ -24,9 +26,26 @@ from repro.api import (
 from repro.core import get_config
 from repro.llm.models import list_models
 from repro.reporting import print_table
+from repro.serving import (
+    ConstantRateWorkload,
+    ContinuousBatchScheduler,
+    FCFSScheduler,
+    OnOffWorkload,
+    PoissonWorkload,
+    SLOSpec,
+    StaticBatchScheduler,
+    TraceWorkload,
+    find_max_qps,
+    simulate,
+)
 
 _CAMBRICON_CONFIGS = ("S", "M", "L")
 _BASELINE_BACKENDS = ("flexgen-ssd", "flexgen-dram", "mlc-llm")
+_SCHEDULERS = {
+    "fcfs": lambda args: FCFSScheduler(),
+    "static": lambda args: StaticBatchScheduler(max_batch=args.max_batch),
+    "continuous": lambda args: ContinuousBatchScheduler(max_batch=args.max_batch),
+}
 
 
 def _add_model_argument(parser: argparse.ArgumentParser) -> None:
@@ -140,6 +159,105 @@ def _grid_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_slo(args: argparse.Namespace) -> Optional[SLOSpec]:
+    if args.slo_ttft is None and args.slo_tpot is None and args.slo_e2e is None:
+        return None
+    return SLOSpec(
+        ttft_s=args.slo_ttft,
+        tpot_s=args.slo_tpot,
+        e2e_s=args.slo_e2e,
+        min_attainment=args.slo_attainment,
+    )
+
+
+def _serving_workload(args: argparse.Namespace, payload: InferenceRequest):
+    if args.workload == "poisson":
+        return PoissonWorkload(args.qps, payload, seed=args.seed)
+    if args.workload == "constant":
+        return ConstantRateWorkload(args.qps, payload, seed=args.seed)
+    if args.workload == "onoff":
+        return OnOffWorkload(
+            args.qps,
+            payload,
+            on_seconds=args.on_seconds,
+            off_seconds=args.off_seconds,
+            seed=args.seed,
+        )
+    if args.trace is None:
+        raise SystemExit("--workload trace requires --trace PATH")
+    return TraceWorkload.from_csv(args.trace)
+
+
+def _serve_command(args: argparse.Namespace) -> int:
+    payload = InferenceRequest(
+        model=args.model,
+        config=args.config,
+        seq_len=args.seq_len,
+        gen_tokens=args.gen_tokens,
+    )
+    slo = _serving_slo(args)
+    scheduler_factory = _SCHEDULERS[args.scheduler]
+    runner = ExperimentRunner()
+
+    if args.find_max_qps:
+        if slo is None:
+            raise SystemExit("--find-max-qps needs an SLO (--slo-ttft/tpot/e2e)")
+        if args.workload != "poisson":
+            raise SystemExit(
+                "--find-max-qps bisects the rate of a Poisson arrival process; "
+                f"it cannot search a {args.workload!r} workload"
+            )
+        capacity = find_max_qps(
+            args.backend,
+            payload,
+            slo,
+            scheduler_factory=lambda: scheduler_factory(args),
+            num_requests=100 if args.num_requests is None else args.num_requests,
+            seed=args.seed,
+            runner=runner,
+        )
+        report = capacity.report
+        headers, rows = report.summary_rows()
+        rows = [["max sustainable qps", capacity.max_qps],
+                ["capacity probes", len(capacity.probes)]] + rows
+        title = (
+            f"Capacity search — {args.model} on {report.backend_name} "
+            f"({report.scheduler_name} scheduler)"
+        )
+    else:
+        workload = _serving_workload(args, payload)
+        if args.workload == "trace":
+            # Default to replaying the whole trace; --num-requests truncates.
+            arrivals = workload.generate(args.num_requests)
+        else:
+            arrivals = workload.generate(
+                100 if args.num_requests is None else args.num_requests
+            )
+        report = simulate(
+            arrivals,
+            args.backend,
+            scheduler_factory(args),
+            slo=slo,
+            runner=runner,
+        )
+        headers, rows = report.summary_rows()
+        title = (
+            f"Serving simulation — {len(arrivals)} x {args.model} "
+            f"({args.workload} workload, {report.scheduler_name} scheduler)"
+        )
+
+    if args.markdown:
+        from repro.reporting import format_markdown_table
+
+        print(format_markdown_table(headers, rows))
+    else:
+        print_table(title, headers, rows)
+    if args.csv is not None:
+        report.to_csv(args.csv)
+        print(f"\nWrote {len(report.records)} request records to {args.csv}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -191,6 +309,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     grid.add_argument("--workers", type=int, default=None, help="thread-pool width")
     grid.set_defaults(handler=_grid_command)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="simulate a multi-request serving workload with SLO metrics",
+    )
+    _add_model_argument(serve)
+    serve.add_argument(
+        "--backend", default="cambricon",
+        help=f"registered backend (default cambricon; {', '.join(list_backends())})",
+    )
+    serve.add_argument("--config", default="L", help="hardware config key (default L)")
+    serve.add_argument("--seq-len", type=int, default=1000, help="prompt length")
+    serve.add_argument(
+        "--gen-tokens", type=int, default=16, help="tokens generated per request"
+    )
+    serve.add_argument(
+        "--workload", choices=("poisson", "constant", "onoff", "trace"),
+        default="poisson", help="arrival process (default poisson)",
+    )
+    serve.add_argument(
+        "--qps", type=float, default=1.0,
+        help="mean arrival rate (burst rate for onoff; default 1.0)",
+    )
+    serve.add_argument(
+        "--num-requests", type=int, default=None,
+        help="arrivals to simulate (default 100; trace: the whole trace)",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    serve.add_argument(
+        "--on-seconds", type=float, default=1.0, help="onoff: burst window length"
+    )
+    serve.add_argument(
+        "--off-seconds", type=float, default=1.0, help="onoff: silence window length"
+    )
+    serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="trace CSV to replay (with --workload trace)",
+    )
+    serve.add_argument(
+        "--scheduler", choices=sorted(_SCHEDULERS), default="fcfs",
+        help="request scheduler (default fcfs)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8,
+        help="batch slots for static/continuous scheduling (default 8)",
+    )
+    serve.add_argument("--slo-ttft", type=float, default=None, help="TTFT SLO (s)")
+    serve.add_argument(
+        "--slo-tpot", type=float, default=None, help="time-per-output-token SLO (s)"
+    )
+    serve.add_argument("--slo-e2e", type=float, default=None, help="end-to-end SLO (s)")
+    serve.add_argument(
+        "--slo-attainment", type=float, default=0.95,
+        help="fraction of requests that must meet the SLO (default 0.95)",
+    )
+    serve.add_argument(
+        "--find-max-qps", action="store_true",
+        help="bisect for the highest Poisson rate that meets the SLO",
+    )
+    serve.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="write the per-request trace as CSV",
+    )
+    serve.add_argument(
+        "--markdown", action="store_true", help="print a markdown table instead"
+    )
+    serve.set_defaults(handler=_serve_command)
     return parser
 
 

@@ -1,0 +1,289 @@
+"""SLO specifications and the serving report.
+
+The :class:`ServingReport` is to the serving simulator what
+:class:`repro.api.result.RunResult` is to a single job: the one container
+every consumer (CLI, capacity search, tests, notebooks) reads.  It holds
+the completed per-request records plus the device timeline and derives
+latency percentiles (TTFT, time-per-output-token, end-to-end), queue
+depth over time, utilization, throughput and — against an
+:class:`SLOSpec` — attainment and goodput.
+
+Everything is a pure function of the records, so a report is exactly as
+deterministic as the simulation that produced it: the same seed yields a
+byte-identical :meth:`ServingReport.to_csv`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serving.request import RequestRecord
+
+#: Percentiles reported for every latency metric.
+REPORT_PERCENTILES = (50.0, 95.0, 99.0)
+
+#: Per-request trace columns written by :meth:`ServingReport.to_csv`.
+TRACE_CSV_FIELDS = [
+    "request_id",
+    "arrival_s",
+    "model",
+    "config",
+    "seq_len",
+    "gen_tokens",
+    "batch_size",
+    "prefill_start_s",
+    "first_token_s",
+    "finish_s",
+    "queue_wait_s",
+    "ttft_s",
+    "tpot_s",
+    "e2e_s",
+    "slo_met",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Deterministic and dependency-free (no numpy); returns None on empty
+    input so report tables can render a "-" instead of a misleading 0.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be between 0 and 100")
+    if not values:
+        return None
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (q / 100.0) * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Per-request latency objectives plus the required attainment.
+
+    A request *meets* the SLO when every non-None threshold holds for it;
+    a run meets the SLO when at least ``min_attainment`` of its requests
+    do.  Goodput counts only the meeting requests.
+    """
+
+    ttft_s: Optional[float] = None
+    tpot_s: Optional[float] = None
+    e2e_s: Optional[float] = None
+    min_attainment: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.ttft_s is None and self.tpot_s is None and self.e2e_s is None:
+            raise ValueError("an SLO needs at least one latency threshold")
+        for name in ("ttft_s", "tpot_s", "e2e_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive when given")
+        if not 0.0 < self.min_attainment <= 1.0:
+            raise ValueError("min_attainment must be in (0, 1]")
+
+    def met_by(self, record: RequestRecord) -> bool:
+        """Whether one completed request satisfies every threshold."""
+        if self.ttft_s is not None and record.ttft_s > self.ttft_s:
+            return False
+        if self.tpot_s is not None and record.tpot_s > self.tpot_s:
+            return False
+        if self.e2e_s is not None and record.e2e_s > self.e2e_s:
+            return False
+        return True
+
+
+@dataclass
+class ServingReport:
+    """Everything one simulation run produced."""
+
+    backend_name: str
+    scheduler_name: str
+    records: List[RequestRecord]
+    #: Simulated time when the last occupancy ended.
+    makespan_s: float
+    #: Total device-busy seconds (sum of occupancy durations).
+    busy_s: float
+    #: (time, waiting-queue depth) samples at every event boundary.
+    queue_depth: List[Tuple[float, int]]
+    slo: Optional[SLOSpec] = None
+
+    # -- basic counts --------------------------------------------------------
+    @property
+    def num_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(record.output_tokens for record in self.records)
+
+    # -- latency metrics -----------------------------------------------------
+    @property
+    def ttfts(self) -> List[float]:
+        return [record.ttft_s for record in self.records]
+
+    @property
+    def tpots(self) -> List[float]:
+        return [record.tpot_s for record in self.records]
+
+    @property
+    def e2es(self) -> List[float]:
+        return [record.e2e_s for record in self.records]
+
+    @property
+    def queue_waits(self) -> List[float]:
+        return [record.queue_wait_s for record in self.records]
+
+    def percentiles(self, metric: str = "ttft") -> Dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` for one latency metric.
+
+        ``metric`` is ``"ttft"``, ``"tpot"``, ``"e2e"`` or ``"queue_wait"``.
+        """
+        values = {
+            "ttft": self.ttfts,
+            "tpot": self.tpots,
+            "e2e": self.e2es,
+            "queue_wait": self.queue_waits,
+        }[metric]
+        return {f"p{q:g}": percentile(values, q) for q in REPORT_PERCENTILES}
+
+    # -- rates and occupancy -------------------------------------------------
+    @property
+    def utilization(self) -> float:
+        """Fraction of the makespan the device spent busy."""
+        return self.busy_s / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per simulated second."""
+        return self.num_requests / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Generated tokens per simulated second across the whole run."""
+        return (
+            self.total_output_tokens / self.makespan_s if self.makespan_s > 0 else 0.0
+        )
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max((depth for _, depth in self.queue_depth), default=0)
+
+    @property
+    def mean_queue_depth(self) -> float:
+        """Time-weighted mean waiting-queue depth over the makespan."""
+        if self.makespan_s <= 0 or len(self.queue_depth) < 2:
+            return float(self.queue_depth[0][1]) if self.queue_depth else 0.0
+        area = 0.0
+        for (t0, depth), (t1, _) in zip(self.queue_depth, self.queue_depth[1:]):
+            area += depth * (t1 - t0)
+        return area / self.makespan_s
+
+    # -- SLO -----------------------------------------------------------------
+    def _slo(self, slo: Optional[SLOSpec]) -> SLOSpec:
+        spec = slo if slo is not None else self.slo
+        if spec is None:
+            raise ValueError("no SLOSpec attached to this report or given")
+        return spec
+
+    def slo_attainment(self, slo: Optional[SLOSpec] = None) -> float:
+        """Fraction of requests individually meeting the SLO."""
+        spec = self._slo(slo)
+        if not self.records:
+            return 0.0
+        met = sum(1 for record in self.records if spec.met_by(record))
+        return met / len(self.records)
+
+    def goodput_rps(self, slo: Optional[SLOSpec] = None) -> float:
+        """SLO-meeting requests per simulated second."""
+        return self.slo_attainment(slo) * self.throughput_rps
+
+    def meets_slo(self, slo: Optional[SLOSpec] = None) -> bool:
+        """Whether attainment reaches the SLO's ``min_attainment``."""
+        spec = self._slo(slo)
+        return self.slo_attainment(spec) >= spec.min_attainment
+
+    # -- export --------------------------------------------------------------
+    def summary_rows(self) -> Tuple[List[str], List[List[object]]]:
+        """(headers, rows) for :func:`repro.reporting.print_table`."""
+        ttft = self.percentiles("ttft")
+        tpot = self.percentiles("tpot")
+        e2e = self.percentiles("e2e")
+        rows: List[List[object]] = [
+            ["backend", self.backend_name],
+            ["scheduler", self.scheduler_name],
+            ["requests", self.num_requests],
+            ["makespan (s)", self.makespan_s],
+            ["throughput (req/s)", self.throughput_rps],
+            ["throughput (token/s)", self.tokens_per_second],
+            ["device utilization (%)", 100.0 * self.utilization],
+            ["TTFT p50/p95/p99 (s)", _triplet(ttft)],
+            ["TPOT p50/p95/p99 (ms)", _triplet(tpot, scale=1e3)],
+            ["e2e p50/p95/p99 (s)", _triplet(e2e)],
+            ["queue depth mean/max", f"{self.mean_queue_depth:.2f}/{self.max_queue_depth}"],
+        ]
+        if self.slo is not None:
+            rows.extend(
+                [
+                    ["SLO attainment (%)", 100.0 * self.slo_attainment()],
+                    ["goodput (req/s)", self.goodput_rps()],
+                    ["meets SLO", self.meets_slo()],
+                ]
+            )
+        return ["metric", "value"], rows
+
+    def to_markdown(self) -> str:
+        """The summary table as GitHub-flavoured markdown."""
+        from repro.reporting import format_markdown_table
+
+        headers, rows = self.summary_rows()
+        return format_markdown_table(headers, rows)
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """The per-request trace as CSV; byte-identical under a fixed seed."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(
+            buffer, fieldnames=TRACE_CSV_FIELDS, lineterminator="\n"
+        )
+        writer.writeheader()
+        for record in self.records:
+            request = record.request
+            writer.writerow(
+                {
+                    "request_id": record.request_id,
+                    "arrival_s": record.arrival_s,
+                    "model": request.model_name,
+                    "config": request.config or "",
+                    "seq_len": request.seq_len,
+                    "gen_tokens": request.gen_tokens,
+                    "batch_size": request.batch_size,
+                    "prefill_start_s": record.prefill_start_s,
+                    "first_token_s": record.first_token_s,
+                    "finish_s": record.finish_s,
+                    "queue_wait_s": record.queue_wait_s,
+                    "ttft_s": record.ttft_s,
+                    "tpot_s": record.tpot_s,
+                    "e2e_s": record.e2e_s,
+                    "slo_met": "" if self.slo is None else self.slo.met_by(record),
+                }
+            )
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", newline="") as handle:
+                handle.write(text)
+        return text
+
+
+def _triplet(values: Dict[str, Optional[float]], scale: float = 1.0) -> str:
+    cells = []
+    for key in ("p50", "p95", "p99"):
+        value = values[key]
+        cells.append("-" if value is None else f"{scale * value:.3f}")
+    return "/".join(cells)

@@ -1,0 +1,97 @@
+"""Timestamped serving requests and their lifecycle records.
+
+A :class:`ServingRequest` is what a workload generator emits: an
+:class:`repro.api.request.InferenceRequest` payload stamped with an
+arrival time on the simulated clock.  The simulator wraps each one in a
+mutable :class:`RequestRecord` that accumulates the lifecycle timestamps
+(prefill start, first token, finish) from which every SLO metric — queue
+wait, TTFT, time-per-output-token, end-to-end latency — is derived.
+
+All times are seconds on the *simulated* clock; nothing in
+:mod:`repro.serving` ever reads the wall clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.api.request import InferenceRequest
+
+
+@dataclass(frozen=True, order=True)
+class ServingRequest:
+    """One arrival: *when* a request shows up and *what* it asks for.
+
+    Ordering is (arrival time, request id), so a sorted stream of
+    serving requests is exactly the order the simulator must see them.
+    """
+
+    arrival_s: float
+    request_id: int
+    request: InferenceRequest = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.arrival_s) or self.arrival_s < 0:
+            raise ValueError(
+                f"arrival_s must be finite and non-negative, got {self.arrival_s!r}"
+            )
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle of one :class:`ServingRequest` through the simulator.
+
+    The scheduler stamps ``prefill_start_s`` and ``first_token_s`` when it
+    places the request on the device; the event loop stamps ``finish_s``
+    when the occupancy that completes it ends.
+    """
+
+    source: ServingRequest
+    prefill_start_s: Optional[float] = None
+    first_token_s: Optional[float] = None
+    finish_s: Optional[float] = None
+
+    # -- delegation ----------------------------------------------------------
+    @property
+    def request(self) -> InferenceRequest:
+        return self.source.request
+
+    @property
+    def request_id(self) -> int:
+        return self.source.request_id
+
+    @property
+    def arrival_s(self) -> float:
+        return self.source.arrival_s
+
+    @property
+    def completed(self) -> bool:
+        return self.finish_s is not None
+
+    # -- derived SLO metrics -------------------------------------------------
+    @property
+    def queue_wait_s(self) -> float:
+        """Seconds between arrival and first touching the device."""
+        return self.prefill_start_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> float:
+        """Time to first token as the *user* sees it: queue wait + prefill."""
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def e2e_s(self) -> float:
+        """End-to-end latency from arrival to the last generated token."""
+        return self.finish_s - self.arrival_s
+
+    @property
+    def output_tokens(self) -> int:
+        """Tokens this request produced (batch lanes x generated tokens)."""
+        return self.request.total_generated_tokens
+
+    @property
+    def tpot_s(self) -> float:
+        """Time per output token over the decode phase of this request."""
+        return (self.finish_s - self.first_token_s) / self.request.gen_tokens

@@ -1,0 +1,180 @@
+"""Pluggable serving schedulers: how waiting requests get device time.
+
+A scheduler owns the waiting queue and, when the simulator's event loop
+asks, plans the next *occupancy* — one non-preemptive stretch of device
+time (a whole job, a batched job, one prefill, or one decode step).  The
+event loop in :mod:`repro.serving.simulator` advances the clock by the
+occupancy's duration and stamps the finish time on every record the
+occupancy completes.
+
+Three policies are built in:
+
+* :class:`FCFSScheduler` — one request at a time, run to completion; the
+  classic single-stream baseline.  A single request arriving at an idle
+  device finishes after exactly the backend's ``RunResult.total_seconds``.
+* :class:`StaticBatchScheduler` — groups up to ``max_batch`` waiting
+  requests into one batch that prefills together, decodes together and
+  releases together; stragglers hold the whole batch.
+* :class:`ContinuousBatchScheduler` — step-level batching: each decode
+  step serves every active sequence, and waiting prefills are admitted
+  between steps whenever a batch slot is free (prefill-prioritized,
+  vLLM-style).  Requests leave the batch the step their generation ends.
+
+Costing uses the backend's per-phase latencies through the
+:class:`repro.serving.simulator.BackendCostModel`: ``time_to_first_token_s``
+prices a prefill occupancy and ``decode_step_seconds`` prices one decode
+step at the current batch width.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.serving.request import RequestRecord
+
+#: Occupancy kinds, also used as event labels in reports and tests.
+JOB = "job"
+BATCH = "batch"
+PREFILL = "prefill"
+DECODE = "decode"
+
+
+@dataclass
+class Occupancy:
+    """One non-preemptive stretch of device time planned by a scheduler."""
+
+    kind: str
+    seconds: float
+    #: Records whose last token is produced when this occupancy ends; the
+    #: event loop stamps their ``finish_s``.
+    completed: List[RequestRecord] = field(default_factory=list)
+
+
+class Scheduler:
+    """Base policy: a FIFO waiting queue plus the planning hook."""
+
+    name = "scheduler"
+
+    def __init__(self) -> None:
+        self._waiting: Deque[RequestRecord] = deque()
+
+    # -- event-loop interface ------------------------------------------------
+    def enqueue(self, record: RequestRecord, now: float) -> None:
+        """An arrival at simulated time ``now`` joins the waiting queue."""
+        self._waiting.append(record)
+
+    @property
+    def waiting(self) -> int:
+        """Requests queued but not yet on the device (the queue depth)."""
+        return len(self._waiting)
+
+    @property
+    def pending(self) -> int:
+        """Requests the scheduler still owes work to (waiting + in flight)."""
+        return len(self._waiting)
+
+    def next_occupancy(self, now: float, cost) -> Optional[Occupancy]:
+        """Plan the next device occupancy starting at ``now`` (None = idle)."""
+        raise NotImplementedError
+
+
+class FCFSScheduler(Scheduler):
+    """First-come-first-served, one request on the device at a time."""
+
+    name = "fcfs"
+
+    def next_occupancy(self, now: float, cost) -> Optional[Occupancy]:
+        if not self._waiting:
+            return None
+        record = self._waiting.popleft()
+        result = cost.profile(record.request)
+        record.prefill_start_s = now
+        record.first_token_s = now + result.time_to_first_token_s
+        return Occupancy(JOB, result.total_seconds, [record])
+
+
+class StaticBatchScheduler(Scheduler):
+    """Batch whatever is waiting (up to ``max_batch``) and run it as a unit.
+
+    The batch prefills together (the slowest member's batched prefill
+    bounds the phase), decodes in lockstep at the batch-wide step cost,
+    and only releases when the member with the most tokens finishes —
+    the classic static-batching straggler penalty.
+    """
+
+    name = "static"
+
+    def __init__(self, max_batch: int = 8):
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        super().__init__()
+        self.max_batch = max_batch
+
+    def next_occupancy(self, now: float, cost) -> Optional[Occupancy]:
+        if not self._waiting:
+            return None
+        count = min(self.max_batch, len(self._waiting))
+        batch = [self._waiting.popleft() for _ in range(count)]
+        lanes = sum(record.request.batch_size for record in batch)
+        prefill = max(
+            cost.ttft(record.request, batch_size=lanes) for record in batch
+        )
+        steps = max(record.request.gen_tokens for record in batch)
+        step = max(
+            cost.decode_step(record.request, batch_size=lanes) for record in batch
+        )
+        for record in batch:
+            record.prefill_start_s = now
+            record.first_token_s = now + prefill
+        return Occupancy(BATCH, prefill + steps * step, batch)
+
+
+class ContinuousBatchScheduler(Scheduler):
+    """Step-level batching with prefill admission between decode steps."""
+
+    name = "continuous"
+
+    def __init__(self, max_batch: int = 8):
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        super().__init__()
+        self.max_batch = max_batch
+        #: Active sequences as [record, remaining decode steps] pairs.
+        self._active: List[List] = []
+
+    @property
+    def pending(self) -> int:
+        return len(self._waiting) + len(self._active)
+
+    @property
+    def active(self) -> int:
+        """Sequences currently in the decode batch."""
+        return len(self._active)
+
+    def next_occupancy(self, now: float, cost) -> Optional[Occupancy]:
+        # Admission first: fill free batch slots with waiting prefills so
+        # new requests reach their first token as early as possible.
+        if self._waiting and len(self._active) < self.max_batch:
+            record = self._waiting.popleft()
+            ttft = cost.ttft(record.request)
+            record.prefill_start_s = now
+            record.first_token_s = now + ttft
+            self._active.append([record, record.request.gen_tokens])
+            return Occupancy(PREFILL, ttft)
+        if self._active:
+            lanes = sum(record.request.batch_size for record, _ in self._active)
+            step = max(
+                cost.decode_step(record.request, batch_size=lanes)
+                for record, _ in self._active
+            )
+            finished = []
+            for entry in self._active:
+                entry[1] -= 1
+                if entry[1] == 0:
+                    finished.append(entry)
+            for entry in finished:
+                self._active.remove(entry)
+            return Occupancy(DECODE, step, [entry[0] for entry in finished])
+        return None

@@ -1,0 +1,174 @@
+"""The discrete-event serving loop and the backend cost oracle.
+
+The simulator advances a virtual clock over two kinds of events —
+request arrivals and device-occupancy completions — with the scheduler
+deciding what the device does next.  Time comes exclusively from the
+workload's arrival stamps and the backend's analytical latencies; nothing
+here reads the wall clock, so a run is a pure function of
+``(requests, scheduler, backend)`` and is exactly reproducible.
+
+The :class:`BackendCostModel` turns any registered
+:class:`repro.api.backend.Backend` into the device model: it profiles
+each distinct request shape once through a memoizing
+:class:`repro.api.runner.ExperimentRunner` and serves every simulated
+occupancy from that cache, so a 10 000-request simulation typically costs
+only a handful of backend evaluations (one per distinct shape x batch
+width).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional, Union
+
+from repro.api.backend import Backend
+from repro.api.request import InferenceRequest
+from repro.api.result import RunResult
+from repro.api.runner import ExperimentRunner
+from repro.serving.metrics import ServingReport, SLOSpec
+from repro.serving.request import RequestRecord, ServingRequest
+from repro.serving.scheduler import FCFSScheduler, Scheduler
+
+BackendLike = Union[str, Backend]
+
+
+class BackendCostModel:
+    """Per-phase latency oracle over one backend, memoized across queries."""
+
+    def __init__(self, backend: BackendLike, runner: Optional[ExperimentRunner] = None):
+        self._backend = backend
+        self._runner = runner if runner is not None else ExperimentRunner()
+        #: (request, batch width, field) -> seconds; see :meth:`_latency`.
+        self._latency_cache: dict = {}
+
+    @property
+    def backend_name(self) -> str:
+        if isinstance(self._backend, str):
+            return self._backend
+        return self._backend.name
+
+    def _latency(
+        self, request: InferenceRequest, batch_size: Optional[int], field: str
+    ) -> float:
+        """One scalar latency, memoized locally so the event loop's inner
+        per-step queries skip the request rebuild and the runner's lock."""
+        key = (
+            request,
+            batch_size if batch_size is not None else request.batch_size,
+            field,
+        )
+        cached = self._latency_cache.get(key)
+        if cached is None:
+            cached = getattr(self.profile(request, batch_size), field)
+            self._latency_cache[key] = cached
+        return cached
+
+    def profile(
+        self, request: InferenceRequest, batch_size: Optional[int] = None
+    ) -> RunResult:
+        """The backend's :class:`RunResult` for ``request`` (cached).
+
+        ``batch_size`` overrides the request's own batch width — that is
+        how schedulers price batched prefills and decode steps.  A request
+        the backend cannot hold is a configuration error for a serving
+        study, so OOM raises instead of silently skewing the metrics.
+        """
+        if batch_size is not None and batch_size != request.batch_size:
+            request = request.with_overrides(batch_size=batch_size)
+        result = self._runner.run(self._backend, request)
+        if result.out_of_memory:
+            raise ValueError(
+                f"{request.model_name} does not fit on {result.backend_name}; "
+                f"a serving workload must use requests the backend can hold "
+                f"({result.error})"
+            )
+        return result
+
+    def ttft(self, request: InferenceRequest, batch_size: Optional[int] = None) -> float:
+        """Prefill occupancy: seconds until the first token is available."""
+        return self._latency(request, batch_size, "time_to_first_token_s")
+
+    def decode_step(
+        self, request: InferenceRequest, batch_size: Optional[int] = None
+    ) -> float:
+        """One decode step at the given batch width (the step clock)."""
+        return self._latency(request, batch_size, "decode_step_seconds")
+
+    def total_seconds(self, request: InferenceRequest) -> float:
+        """The whole job run alone: prefill plus every decode step."""
+        return self._latency(request, None, "total_seconds")
+
+
+def simulate(
+    requests: Iterable[ServingRequest],
+    backend: BackendLike,
+    scheduler: Optional[Scheduler] = None,
+    *,
+    slo: Optional[SLOSpec] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> ServingReport:
+    """Run the arrival stream to completion and return the report.
+
+    Semantics:
+
+    * arrivals are delivered to the scheduler the moment the simulated
+      clock reaches them (at event boundaries — the device is
+      non-preemptive, so an occupancy in flight finishes first);
+    * when the scheduler has nothing to run, the clock jumps straight to
+      the next arrival (idle time costs nothing to simulate);
+    * the queue depth is sampled at every event boundary, giving the
+      exact step function of waiting requests over time.
+
+    ``scheduler`` defaults to a fresh :class:`FCFSScheduler`.  Pass a
+    shared ``runner`` to reuse backend profiles across many simulations
+    (the capacity search does this across its whole bisection).
+    """
+    scheduler = scheduler if scheduler is not None else FCFSScheduler()
+    if scheduler.pending:
+        raise ValueError("scheduler already has pending requests; use a fresh one")
+    cost = BackendCostModel(backend, runner=runner)
+
+    records = [RequestRecord(request) for request in sorted(requests)]
+    if not records:
+        raise ValueError("cannot simulate an empty request stream")
+    arrivals = deque(records)
+    # Resolve the display name (and fail fast on an OOM payload) up front.
+    backend_name = cost.profile(records[0].request).backend_name
+
+    now = 0.0
+    busy = 0.0
+    queue_depth = []
+    while arrivals or scheduler.pending:
+        while arrivals and arrivals[0].arrival_s <= now:
+            scheduler.enqueue(arrivals.popleft(), now)
+        occupancy = scheduler.next_occupancy(now, cost)
+        # Sample *after* planning, so a request just placed on the device
+        # no longer counts as waiting during the occupancy it started.
+        queue_depth.append((now, scheduler.waiting))
+        if occupancy is None:
+            if not arrivals:
+                if scheduler.pending:
+                    raise RuntimeError(
+                        f"scheduler {scheduler.name!r} reports {scheduler.pending} "
+                        "pending requests but planned no work"
+                    )
+                break
+            now = arrivals[0].arrival_s
+            continue
+        if occupancy.seconds < 0:
+            raise ValueError("occupancy duration must be non-negative")
+        now += occupancy.seconds
+        busy += occupancy.seconds
+        for record in occupancy.completed:
+            record.finish_s = now
+    queue_depth.append((now, scheduler.waiting))
+
+    return ServingReport(
+        backend_name=backend_name,
+        scheduler_name=scheduler.name,
+        records=records,
+        makespan_s=now,
+        busy_s=busy,
+        queue_depth=queue_depth,
+        slo=slo,
+    )

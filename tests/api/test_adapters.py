@@ -181,3 +181,30 @@ def test_config_normalization_keeps_fixed_config_requests_equal():
     a = backend.normalize_request(InferenceRequest(model="opt-6.7b", config="L"))
     b = backend.normalize_request(InferenceRequest(model="opt-6.7b"))
     assert a == b
+
+
+# -- integral-type validation -------------------------------------------------
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"model": "opt-6.7b", "seq_len": 1000.5},
+        {"model": "opt-6.7b", "seq_len": 1000.0},
+        {"model": "opt-6.7b", "gen_tokens": 2.0},
+        {"model": "opt-6.7b", "batch_size": True},
+        {"model": "opt-6.7b", "seq_len": False},
+        {"model": "opt-6.7b", "weight_bits": 4.0},
+        {"model": "opt-6.7b", "activation_bits": True},
+    ],
+)
+def test_non_integral_counts_are_rejected_with_a_clear_error(kwargs):
+    """Bools and floats must not silently masquerade as token counts."""
+    with pytest.raises(TypeError, match="must be an int"):
+        InferenceRequest(**kwargs)
+
+
+def test_integral_validation_names_the_offending_field():
+    with pytest.raises(TypeError, match="seq_len"):
+        InferenceRequest(model="opt-6.7b", seq_len=1000.5)
+    with pytest.raises(TypeError, match="gen_tokens"):
+        InferenceRequest(model="opt-6.7b", gen_tokens=True)

@@ -1,0 +1,103 @@
+"""Round-trip tests for ResultSet CSV/markdown export on awkward rows.
+
+The export paths were previously only smoke-tested through the CLI on
+healthy results; these tests pin the behaviour for OOM rows (infinite
+latencies, zero throughput) and results with no energy model.
+"""
+
+import csv
+import io
+import math
+
+from repro.api import InferenceRequest, ResultSet, RunResult
+from repro.api.result import DECODE_PHASE, PREFILL_PHASE, SUMMARY_HEADERS
+
+
+def _ok_result(energy=None):
+    request = InferenceRequest(model="opt-6.7b", config="S", seq_len=1000, gen_tokens=4)
+    return RunResult(
+        backend_name="Toy-S",
+        model_name="opt-6.7b",
+        request=request,
+        tokens_per_second=12.5,
+        time_to_first_token_s=0.25,
+        decode_step_seconds=0.08,
+        total_seconds=0.25 + 4 * 0.08,
+        phase_seconds={PREFILL_PHASE: 0.25, DECODE_PHASE: 0.32},
+        traffic_bytes_per_token=2.5e9,
+        bottleneck="weight-delivery",
+        energy_joules_per_token=energy,
+    )
+
+
+def _oom_result():
+    request = InferenceRequest(model="llama2-70b", seq_len=1000)
+    return RunResult(
+        backend_name="Toy-S",
+        model_name="llama2-70b",
+        request=request,
+        tokens_per_second=0.0,
+        time_to_first_token_s=float("inf"),
+        decode_step_seconds=float("inf"),
+        total_seconds=float("inf"),
+        phase_seconds={},
+        traffic_bytes_per_token=0.0,
+        bottleneck="capacity",
+        out_of_memory=True,
+        error="llama2-70b exceeds Toy-S capacity",
+    )
+
+
+def test_csv_round_trips_oom_rows_and_none_energy(tmp_path):
+    results = ResultSet([_ok_result(energy=None), _oom_result()])
+    path = tmp_path / "results.csv"
+    text = results.to_csv(str(path))
+    assert path.read_text() == text
+
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == 2
+
+    healthy, oom = rows
+    assert float(healthy["tokens_per_second"]) == 12.5
+    assert healthy["energy_joules_per_token"] == ""  # None stays empty
+    assert healthy["out_of_memory"] == "False"
+    assert float(healthy["total_seconds"]) == 0.25 + 4 * 0.08
+
+    assert oom["out_of_memory"] == "True"
+    assert float(oom["tokens_per_second"]) == 0.0
+    assert math.isinf(float(oom["time_to_first_token_s"]))
+    assert math.isinf(float(oom["total_seconds"]))
+    assert oom["bottleneck"] == "capacity"
+    assert oom["config"] == ""  # request had no config key
+
+
+def test_csv_is_deterministic_for_equal_result_sets():
+    first = ResultSet([_ok_result(), _oom_result()]).to_csv()
+    second = ResultSet([_ok_result(), _oom_result()]).to_csv()
+    assert first == second
+
+
+def test_csv_energy_round_trips_when_present():
+    text = ResultSet([_ok_result(energy=3.25)]).to_csv()
+    row = next(csv.DictReader(io.StringIO(text)))
+    assert float(row["energy_joules_per_token"]) == 3.25
+
+
+def test_markdown_renders_oom_and_missing_cells():
+    markdown = ResultSet([_ok_result(energy=None), _oom_result()]).to_markdown()
+    lines = markdown.splitlines()
+    assert lines[0] == "| " + " | ".join(SUMMARY_HEADERS) + " |"
+    assert len(lines) == 4  # header + separator + two rows
+    healthy, oom = lines[2], lines[3]
+    assert " 12.50 " in healthy
+    assert healthy.count(" - ") >= 1  # None energy renders as "-"
+    assert " OOM " in oom
+    # OOM rows blank out TTFT and traffic rather than printing inf.
+    assert " inf " not in oom
+
+
+def test_markdown_and_rows_agree_on_row_count():
+    results = ResultSet([_ok_result(), _oom_result()])
+    headers, rows = results.to_rows()
+    assert headers == SUMMARY_HEADERS
+    assert len(results.to_markdown().splitlines()) == len(rows) + 2

@@ -1,0 +1,35 @@
+"""A constant-latency toy backend shared by the serving tests."""
+
+from repro.api import RunResult
+from repro.api.result import DECODE_PHASE, PREFILL_PHASE
+
+
+class ToyBackend:
+    """Constant-latency device: ttft + gen_tokens steps, batch-invariant steps.
+
+    A decode step costs the same regardless of batch width, so batching is
+    maximally profitable — convenient for sharp closed-form assertions.
+    """
+
+    name = "toy"
+
+    def __init__(self, ttft=1.0, step=0.1):
+        self.ttft = ttft
+        self.step = step
+        self.calls = 0
+
+    def run(self, request):
+        self.calls += 1
+        decode = request.gen_tokens * self.step
+        return RunResult(
+            backend_name=self.name,
+            model_name=request.model_name,
+            request=request,
+            tokens_per_second=request.batch_size / self.step,
+            time_to_first_token_s=self.ttft,
+            decode_step_seconds=self.step,
+            total_seconds=self.ttft + decode,
+            phase_seconds={PREFILL_PHASE: self.ttft, DECODE_PHASE: decode},
+            traffic_bytes_per_token=0.0,
+            bottleneck="toy",
+        )

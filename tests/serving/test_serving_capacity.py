@@ -1,0 +1,95 @@
+"""Tests for the SLO-bounded capacity search."""
+
+import pytest
+
+from serving_toys import ToyBackend
+
+from repro.api import ExperimentRunner, InferenceRequest
+from repro.serving import (
+    ContinuousBatchScheduler,
+    FCFSScheduler,
+    PoissonWorkload,
+    SLOSpec,
+    find_max_qps,
+    simulate,
+)
+
+PAYLOAD = InferenceRequest(model="opt-6.7b", seq_len=500, gen_tokens=10)
+SLO = SLOSpec(e2e_s=10.0, min_attainment=0.9)
+
+
+def test_found_rate_meets_slo_and_its_1p5x_violates_it():
+    """The acceptance criterion, verified by replaying both rates."""
+    backend = ToyBackend(ttft=0.5, step=0.1)  # job = 1.5 s
+    capacity = find_max_qps(
+        backend, PAYLOAD, SLO, num_requests=200, seed=3, runner=ExperimentRunner()
+    )
+
+    def replay(rate):
+        workload = PoissonWorkload(rate, PAYLOAD, seed=3)
+        return simulate(workload.generate(200), ToyBackend(ttft=0.5, step=0.1),
+                        FCFSScheduler(), slo=SLO)
+
+    assert replay(capacity.max_qps).meets_slo()
+    assert not replay(capacity.max_qps * 1.5).meets_slo()
+    # The capacity sits between the unloaded and saturated regimes.
+    assert 0.0 < capacity.max_qps < 1.0 / 1.5
+
+
+def test_search_is_deterministic():
+    a = find_max_qps(ToyBackend(), PAYLOAD, SLO, num_requests=100, seed=1)
+    b = find_max_qps(ToyBackend(), PAYLOAD, SLO, num_requests=100, seed=1)
+    assert a.max_qps == b.max_qps
+    assert a.probes == b.probes
+
+
+def test_probes_record_the_search_trajectory():
+    capacity = find_max_qps(ToyBackend(), PAYLOAD, SLO, num_requests=100, seed=1)
+    assert any(met for _, met in capacity.probes)
+    assert any(not met for _, met in capacity.probes)
+    assert (capacity.max_qps, True) in capacity.probes
+    assert capacity.report.meets_slo()
+
+
+def test_continuous_batching_raises_capacity_over_fcfs():
+    """Batch-invariant steps make batching strictly better under load."""
+    decode_heavy = PAYLOAD.with_overrides(gen_tokens=50)
+    slo = SLOSpec(e2e_s=30.0, min_attainment=0.9)
+    kwargs = dict(num_requests=150, seed=0)
+    fcfs = find_max_qps(ToyBackend(), decode_heavy, slo, **kwargs)
+    batched = find_max_qps(
+        ToyBackend(),
+        decode_heavy,
+        slo,
+        scheduler_factory=lambda: ContinuousBatchScheduler(max_batch=8),
+        **kwargs,
+    )
+    assert batched.max_qps > 2.0 * fcfs.max_qps
+
+
+def test_unattainable_slo_raises_a_clear_error():
+    backend = ToyBackend(ttft=5.0, step=0.1)  # solo job already misses 1 s
+    with pytest.raises(ValueError, match="violated even"):
+        find_max_qps(backend, PAYLOAD, SLOSpec(e2e_s=1.0), num_requests=20)
+
+
+def test_unconstraining_slo_raises_a_clear_error():
+    backend = ToyBackend(ttft=1e-9, step=1e-9)  # effectively free requests
+    with pytest.raises(ValueError, match="never constrains"):
+        find_max_qps(
+            backend, PAYLOAD, SLOSpec(e2e_s=1e6), num_requests=20, max_probes=50
+        )
+
+
+def test_capacity_search_on_a_real_backend_is_cheap_and_consistent():
+    """End to end on the Cambricon backend with a shared memoizing runner."""
+    runner = ExperimentRunner()
+    payload = InferenceRequest(model="opt-6.7b", config="S", seq_len=500, gen_tokens=4)
+    slo = SLOSpec(e2e_s=60.0, min_attainment=0.9)
+    capacity = find_max_qps(
+        "cambricon", payload, slo, num_requests=60, seed=0, runner=runner
+    )
+    assert capacity.max_qps > 0
+    assert capacity.report.meets_slo()
+    # The whole bisection re-used one backend profile per shape.
+    assert runner.cache_info()["misses"] <= 3

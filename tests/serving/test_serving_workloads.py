@@ -1,0 +1,106 @@
+"""Tests for the seeded arrival-process generators."""
+
+import pytest
+
+from repro.api import InferenceRequest
+from repro.serving import (
+    ConstantRateWorkload,
+    OnOffWorkload,
+    PoissonWorkload,
+    ServingRequest,
+    TraceWorkload,
+    write_trace,
+)
+
+PAYLOAD = InferenceRequest(model="opt-6.7b", seq_len=500, gen_tokens=4)
+
+
+def test_poisson_is_seed_deterministic():
+    a = PoissonWorkload(2.0, PAYLOAD, seed=7).generate(200)
+    b = PoissonWorkload(2.0, PAYLOAD, seed=7).generate(200)
+    assert [r.arrival_s for r in a] == [r.arrival_s for r in b]
+    assert [r.request for r in a] == [r.request for r in b]
+
+
+def test_poisson_seeds_differ():
+    a = PoissonWorkload(2.0, PAYLOAD, seed=1).generate(50)
+    b = PoissonWorkload(2.0, PAYLOAD, seed=2).generate(50)
+    assert [r.arrival_s for r in a] != [r.arrival_s for r in b]
+
+
+def test_poisson_mean_rate_is_close_to_nominal():
+    arrivals = PoissonWorkload(4.0, PAYLOAD, seed=0).generate(4000)
+    observed = len(arrivals) / arrivals[-1].arrival_s
+    assert observed == pytest.approx(4.0, rel=0.1)
+
+
+def test_poisson_arrivals_are_strictly_ordered():
+    arrivals = PoissonWorkload(10.0, PAYLOAD, seed=3).generate(500)
+    times = [r.arrival_s for r in arrivals]
+    assert times == sorted(times)
+    assert all(t > 0 for t in times)
+
+
+def test_constant_rate_spacing_is_exact():
+    arrivals = ConstantRateWorkload(4.0, PAYLOAD).generate(9)
+    assert [r.arrival_s for r in arrivals] == [i / 4.0 for i in range(9)]
+
+
+def test_onoff_arrivals_land_only_in_on_windows():
+    workload = OnOffWorkload(
+        20.0, PAYLOAD, on_seconds=2.0, off_seconds=3.0, seed=5
+    )
+    for request in workload.generate(400):
+        offset = request.arrival_s % 5.0
+        assert offset < 2.0  # never inside a silent window
+
+
+def test_onoff_is_burstier_than_poisson_at_equal_mean_load():
+    """Off windows create gaps a plain Poisson stream of bursts lacks."""
+    workload = OnOffWorkload(10.0, PAYLOAD, on_seconds=1.0, off_seconds=9.0, seed=0)
+    times = [r.arrival_s for r in workload.generate(300)]
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert max(gaps) > 8.0  # at least one inter-burst silence survives
+
+
+def test_payload_factory_draws_from_the_seeded_rng():
+    def factory(rng, index):
+        return PAYLOAD.with_overrides(gen_tokens=rng.randint(1, 64))
+
+    a = PoissonWorkload(1.0, factory, seed=9).generate(50)
+    b = PoissonWorkload(1.0, factory, seed=9).generate(50)
+    assert [r.request.gen_tokens for r in a] == [r.request.gen_tokens for r in b]
+    assert len({r.request.gen_tokens for r in a}) > 1
+
+
+def test_trace_round_trips_through_csv(tmp_path):
+    path = str(tmp_path / "trace.csv")
+    original = PoissonWorkload(2.0, PAYLOAD, seed=11).generate(40)
+    write_trace(path, original)
+    replayed = TraceWorkload.from_csv(path).generate()
+    assert [r.arrival_s for r in replayed] == [r.arrival_s for r in original]
+    assert [r.request for r in replayed] == [r.request for r in original]
+
+
+def test_trace_generate_respects_bounds():
+    trace = TraceWorkload(
+        [ServingRequest(arrival_s=float(i), request_id=i, request=PAYLOAD) for i in range(5)]
+    )
+    assert len(trace.generate(3)) == 3
+    with pytest.raises(ValueError):
+        trace.generate(6)
+
+
+def test_invalid_parameters_are_rejected():
+    with pytest.raises(ValueError):
+        PoissonWorkload(0.0, PAYLOAD)
+    with pytest.raises(ValueError):
+        ConstantRateWorkload(-1.0, PAYLOAD)
+    with pytest.raises(ValueError):
+        OnOffWorkload(1.0, PAYLOAD, on_seconds=0.0)
+    with pytest.raises(ValueError):
+        PoissonWorkload(1.0, PAYLOAD).generate(0)
+    with pytest.raises(ValueError):
+        ServingRequest(arrival_s=-1.0, request_id=0, request=PAYLOAD)
+    with pytest.raises(ValueError):
+        TraceWorkload([])
