@@ -35,6 +35,10 @@ On top of the single-job API, :mod:`repro.serving` simulates *queues* of
 timestamped requests — seeded workload generators, pluggable schedulers
 (FCFS / static / continuous batching), SLO percentile reports and a
 ``find_max_qps`` capacity search — also exposed as ``python -m repro serve``.
+:mod:`repro.fleet` scales that to multi-device clusters: routing policies,
+tensor/pipeline sharding transforms and a ``size_fleet`` capacity planner
+("how many chiplets for X qps under this SLO"), exposed as
+``python -m repro fleet``.
 """
 
 from repro.api import (
@@ -78,10 +82,26 @@ from repro.serving import (
     SLOSpec,
     StaticBatchScheduler,
     find_max_qps,
+    load_bundled_trace,
     simulate,
 )
+from repro.fleet import (
+    Device,
+    FleetReport,
+    FleetSizingResult,
+    JoinShortestQueueRouter,
+    LeastWorkRouter,
+    RoundRobinRouter,
+    Router,
+    SLOAwareRouter,
+    ShardedBackend,
+    ShardingSpec,
+    build_fleet,
+    simulate_fleet,
+    size_fleet,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -141,4 +161,19 @@ __all__ = [
     "ServingReport",
     "SLOSpec",
     "find_max_qps",
+    "load_bundled_trace",
+    # fleet simulator
+    "Device",
+    "FleetReport",
+    "FleetSizingResult",
+    "Router",
+    "RoundRobinRouter",
+    "JoinShortestQueueRouter",
+    "LeastWorkRouter",
+    "SLOAwareRouter",
+    "ShardedBackend",
+    "ShardingSpec",
+    "build_fleet",
+    "simulate_fleet",
+    "size_fleet",
 ]

@@ -9,7 +9,9 @@ Installed as ``python -m repro``; every subcommand drives the unified
 * ``grid``    — cartesian (backend x model x config x seq_len x batch)
   experiment grid with memoized concurrent execution and CSV/markdown export,
 * ``serve``   — discrete-event multi-request serving simulation (workload ->
-  scheduler -> backend) with SLO percentiles, goodput and capacity search.
+  scheduler -> backend) with SLO percentiles, goodput and capacity search,
+* ``fleet``   — multi-device fleet simulation (routing, sharding, mixed
+  backends) and ``size_fleet`` capacity planning (``--size-for-qps``).
 """
 
 from __future__ import annotations
@@ -24,6 +26,14 @@ from repro.api import (
     list_backends,
 )
 from repro.core import get_config
+from repro.fleet import (
+    ROUTERS,
+    ShardingSpec,
+    build_fleet,
+    get_router,
+    simulate_fleet,
+    size_fleet,
+)
 from repro.llm.models import list_models
 from repro.reporting import print_table
 from repro.serving import (
@@ -36,6 +46,8 @@ from repro.serving import (
     StaticBatchScheduler,
     TraceWorkload,
     find_max_qps,
+    list_bundled_traces,
+    load_bundled_trace,
     simulate,
 )
 
@@ -170,7 +182,25 @@ def _serving_slo(args: argparse.Namespace) -> Optional[SLOSpec]:
     )
 
 
+def _validate_trace_flags(args: argparse.Namespace) -> None:
+    """Reject trace flags that would be silently dropped.
+
+    Called at the top of both command handlers so the capacity/sizing
+    branches (which never build a workload) validate them too.
+    """
+    if args.trace is not None and args.bundled_trace is not None:
+        raise SystemExit("pass either --trace or --bundled-trace, not both")
+    if args.workload != "trace" and (
+        args.trace is not None or args.bundled_trace is not None
+    ):
+        raise SystemExit(
+            f"--trace/--bundled-trace replay a recorded trace; they do nothing "
+            f"for a {args.workload!r} workload (use --workload trace)"
+        )
+
+
 def _serving_workload(args: argparse.Namespace, payload: InferenceRequest):
+    _validate_trace_flags(args)
     if args.workload == "poisson":
         return PoissonWorkload(args.qps, payload, seed=args.seed)
     if args.workload == "constant":
@@ -183,9 +213,63 @@ def _serving_workload(args: argparse.Namespace, payload: InferenceRequest):
             off_seconds=args.off_seconds,
             seed=args.seed,
         )
-    if args.trace is None:
-        raise SystemExit("--workload trace requires --trace PATH")
-    return TraceWorkload.from_csv(args.trace)
+    if args.trace is not None:
+        return TraceWorkload.from_csv(args.trace)
+    if args.bundled_trace is not None:
+        try:
+            return load_bundled_trace(args.bundled_trace)
+        except KeyError as exc:
+            raise SystemExit(f"--bundled-trace: {exc.args[0]}")
+    raise SystemExit("--workload trace requires --trace PATH or --bundled-trace NAME")
+
+
+def _workload_arrivals(args: argparse.Namespace, payload: InferenceRequest):
+    workload = _serving_workload(args, payload)
+    if args.workload == "trace":
+        # Default to replaying the whole trace; --num-requests truncates.
+        return workload.generate(args.num_requests)
+    return workload.generate(100 if args.num_requests is None else args.num_requests)
+
+
+def _print_probe_trail(args: argparse.Namespace, headers, rows) -> None:
+    """The audit trail of a capacity/sizing search, one row per probe."""
+    if args.markdown:
+        from repro.reporting import format_markdown_table
+
+        print()
+        print(format_markdown_table(headers, rows))
+    else:
+        print_table("Probe trail", headers, rows)
+
+
+def _emit_report(
+    args: argparse.Namespace,
+    title: str,
+    headers,
+    rows,
+    report,
+    probe_rows=None,
+    extra_tables=(),
+) -> int:
+    """Render a report (plus optional extra tables and probe trail) and
+    write the trace CSV — the shared epilogue of ``serve`` and ``fleet``."""
+    if args.markdown:
+        from repro.reporting import format_markdown_table
+
+        print(format_markdown_table(headers, rows))
+        for _, extra_headers, extra_rows in extra_tables:
+            print()
+            print(format_markdown_table(extra_headers, extra_rows))
+    else:
+        print_table(title, headers, rows)
+        for extra_title, extra_headers, extra_rows in extra_tables:
+            print_table(extra_title, extra_headers, extra_rows)
+    if probe_rows is not None:
+        _print_probe_trail(args, *probe_rows)
+    if args.csv is not None:
+        report.to_csv(args.csv)
+        print(f"\nWrote {len(report.records)} request records to {args.csv}")
+    return 0
 
 
 def _serve_command(args: argparse.Namespace) -> int:
@@ -195,9 +279,13 @@ def _serve_command(args: argparse.Namespace) -> int:
         seq_len=args.seq_len,
         gen_tokens=args.gen_tokens,
     )
+    _validate_trace_flags(args)
+    if args.show_probes and not args.find_max_qps:
+        raise SystemExit("--show-probes requires --find-max-qps")
     slo = _serving_slo(args)
     scheduler_factory = _SCHEDULERS[args.scheduler]
     runner = ExperimentRunner()
+    probe_rows = None
 
     if args.find_max_qps:
         if slo is None:
@@ -224,15 +312,16 @@ def _serve_command(args: argparse.Namespace) -> int:
             f"Capacity search — {args.model} on {report.backend_name} "
             f"({report.scheduler_name} scheduler)"
         )
-    else:
-        workload = _serving_workload(args, payload)
-        if args.workload == "trace":
-            # Default to replaying the whole trace; --num-requests truncates.
-            arrivals = workload.generate(args.num_requests)
-        else:
-            arrivals = workload.generate(
-                100 if args.num_requests is None else args.num_requests
+        if args.show_probes:
+            probe_rows = (
+                ["probe", "rate (qps)", "SLO met"],
+                [
+                    [index + 1, rate, met]
+                    for index, (rate, met) in enumerate(capacity.probes)
+                ],
             )
+    else:
+        arrivals = _workload_arrivals(args, payload)
         report = simulate(
             arrivals,
             args.backend,
@@ -246,16 +335,157 @@ def _serve_command(args: argparse.Namespace) -> int:
             f"({args.workload} workload, {report.scheduler_name} scheduler)"
         )
 
-    if args.markdown:
-        from repro.reporting import format_markdown_table
+    return _emit_report(args, title, headers, rows, report, probe_rows)
 
-        print(format_markdown_table(headers, rows))
+
+def _parse_mix(spec: str) -> List[object]:
+    """``--mix`` entries ("name=count", comma-separated) as backend objects.
+
+    A name is a registered backend, or ``cambricon-<cfg>`` sugar pinning a
+    Table-II configuration per device (``cambricon-s=4,flexgen-ssd=2``).
+    """
+    backends: List[object] = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, equals, count_text = entry.partition("=")
+        name = name.strip().lower()
+        try:
+            count = int(count_text) if equals else 1
+        except ValueError:
+            raise SystemExit(f"--mix: bad count in {entry!r}")
+        if count < 1:
+            raise SystemExit(f"--mix: count must be >= 1 in {entry!r}")
+        if name in list_backends():
+            backends.extend([name] * count)
+            continue
+        base, dash, config = name.rpartition("-")
+        if dash and base == "cambricon":
+            try:
+                pinned = get_config(config.upper())
+            except (KeyError, ValueError):
+                raise SystemExit(f"--mix: unknown backend or config {name!r}")
+            backends.extend(
+                CambriconBackend(config=pinned) for _ in range(count)
+            )
+            continue
+        raise SystemExit(
+            f"--mix: unknown backend {name!r}; available: "
+            f"{', '.join(list_backends())} (or cambricon-s/m/l)"
+        )
+    if not backends:
+        raise SystemExit("--mix produced an empty fleet")
+    return backends
+
+
+def _fleet_command(args: argparse.Namespace) -> int:
+    payload = InferenceRequest(
+        model=args.model,
+        config=args.config,
+        seq_len=args.seq_len,
+        gen_tokens=args.gen_tokens,
+    )
+    _validate_trace_flags(args)
+    if args.show_probes and args.size_for_qps is None:
+        raise SystemExit("--show-probes requires --size-for-qps")
+    if args.size_for_qps is not None and args.num_devices is not None:
+        raise SystemExit(
+            "--size-for-qps searches the replica count itself; "
+            "it cannot honour --num-devices (cap it with --max-replicas)"
+        )
+    slo = _serving_slo(args)
+    runner = ExperimentRunner()
+    sharding = ShardingSpec(tensor_parallel=args.tp, pipeline_parallel=args.pp)
+    scheduler_factory = lambda: _SCHEDULERS[args.scheduler](args)  # noqa: E731
+    probe_rows = None
+
+    if args.size_for_qps is not None:
+        if slo is None:
+            raise SystemExit("--size-for-qps needs an SLO (--slo-ttft/tpot/e2e)")
+        if args.mix is not None:
+            raise SystemExit(
+                "--size-for-qps sizes a homogeneous fleet; it cannot search --mix"
+            )
+        if args.workload != "poisson":
+            raise SystemExit(
+                "--size-for-qps sizes against a Poisson arrival process; "
+                f"it cannot search a {args.workload!r} workload"
+            )
+        sizing = size_fleet(
+            args.backend,
+            payload,
+            slo,
+            args.size_for_qps,
+            shardings=[sharding],
+            scheduler_factory=scheduler_factory,
+            router_factory=lambda: get_router(args.router),
+            num_requests=100 if args.num_requests is None else args.num_requests,
+            seed=args.seed,
+            max_replicas=args.max_replicas,
+            runner=runner,
+        )
+        report = sizing.report
+        headers, rows = report.summary_rows()
+        won = sizing.sharding
+        rows = [
+            ["replicas needed", sizing.num_replicas],
+            [
+                "sharding (tp x pp)",
+                f"{won.tensor_parallel} x {won.pipeline_parallel}",
+            ],
+            ["total chips", sizing.num_chips],
+            ["sizing probes", len(sizing.probes)],
+        ] + rows
+        title = (
+            f"Fleet sizing — {args.size_for_qps:g} qps of {args.model} "
+            f"on {args.backend} ({args.router} router)"
+        )
+        if args.show_probes:
+            probe_rows = (
+                ["probe", "replicas", "tp", "pp", "SLO met"],
+                [
+                    [
+                        index + 1,
+                        probe.replicas,
+                        probe.sharding.tensor_parallel,
+                        probe.sharding.pipeline_parallel,
+                        probe.met,
+                    ]
+                    for index, probe in enumerate(sizing.probes)
+                ],
+            )
     else:
-        print_table(title, headers, rows)
-    if args.csv is not None:
-        report.to_csv(args.csv)
-        print(f"\nWrote {len(report.records)} request records to {args.csv}")
-    return 0
+        if args.mix is not None:
+            backends = _parse_mix(args.mix)
+        else:
+            backends = [args.backend] * (
+                2 if args.num_devices is None else args.num_devices
+            )
+        fleet = build_fleet(
+            backends,
+            scheduler_factory=scheduler_factory,
+            sharding=sharding,
+            runner=runner,
+        )
+        arrivals = _workload_arrivals(args, payload)
+        report = simulate_fleet(arrivals, fleet, get_router(args.router), slo=slo)
+        headers, rows = report.summary_rows()
+        title = (
+            f"Fleet simulation — {len(arrivals)} x {args.model} on "
+            f"{len(fleet)} devices ({args.workload} workload, {args.router} router)"
+        )
+
+    device_headers, device_rows = report.per_device_rows()
+    return _emit_report(
+        args,
+        title,
+        headers,
+        rows,
+        report,
+        probe_rows,
+        extra_tables=[("Per-device breakdown", device_headers, device_rows)],
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -314,69 +544,121 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="simulate a multi-request serving workload with SLO metrics",
     )
-    _add_model_argument(serve)
-    serve.add_argument(
-        "--backend", default="cambricon",
-        help=f"registered backend (default cambricon; {', '.join(list_backends())})",
-    )
-    serve.add_argument("--config", default="L", help="hardware config key (default L)")
-    serve.add_argument("--seq-len", type=int, default=1000, help="prompt length")
-    serve.add_argument(
-        "--gen-tokens", type=int, default=16, help="tokens generated per request"
-    )
-    serve.add_argument(
-        "--workload", choices=("poisson", "constant", "onoff", "trace"),
-        default="poisson", help="arrival process (default poisson)",
-    )
-    serve.add_argument(
-        "--qps", type=float, default=1.0,
-        help="mean arrival rate (burst rate for onoff; default 1.0)",
-    )
-    serve.add_argument(
-        "--num-requests", type=int, default=None,
-        help="arrivals to simulate (default 100; trace: the whole trace)",
-    )
-    serve.add_argument("--seed", type=int, default=0, help="workload RNG seed")
-    serve.add_argument(
-        "--on-seconds", type=float, default=1.0, help="onoff: burst window length"
-    )
-    serve.add_argument(
-        "--off-seconds", type=float, default=1.0, help="onoff: silence window length"
-    )
-    serve.add_argument(
-        "--trace", default=None, metavar="PATH",
-        help="trace CSV to replay (with --workload trace)",
-    )
-    serve.add_argument(
-        "--scheduler", choices=sorted(_SCHEDULERS), default="fcfs",
-        help="request scheduler (default fcfs)",
-    )
-    serve.add_argument(
-        "--max-batch", type=int, default=8,
-        help="batch slots for static/continuous scheduling (default 8)",
-    )
-    serve.add_argument("--slo-ttft", type=float, default=None, help="TTFT SLO (s)")
-    serve.add_argument(
-        "--slo-tpot", type=float, default=None, help="time-per-output-token SLO (s)"
-    )
-    serve.add_argument("--slo-e2e", type=float, default=None, help="end-to-end SLO (s)")
-    serve.add_argument(
-        "--slo-attainment", type=float, default=0.95,
-        help="fraction of requests that must meet the SLO (default 0.95)",
-    )
+    _add_serving_arguments(serve)
     serve.add_argument(
         "--find-max-qps", action="store_true",
         help="bisect for the highest Poisson rate that meets the SLO",
     )
-    serve.add_argument(
+    serve.set_defaults(handler=_serve_command)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="simulate a multi-device fleet (routing, sharding, fleet sizing)",
+    )
+    _add_serving_arguments(fleet)
+    fleet.add_argument(
+        "--num-devices", type=int, default=None,
+        help="replica count for a homogeneous fleet (default 2; "
+             "incompatible with --size-for-qps, which searches the count)",
+    )
+    fleet.add_argument(
+        "--router", choices=sorted(ROUTERS), default="jsq",
+        help="routing policy (default jsq)",
+    )
+    fleet.add_argument(
+        "--tp", type=int, default=1,
+        help="tensor-parallel degree of every replica (default 1)",
+    )
+    fleet.add_argument(
+        "--pp", type=int, default=1,
+        help="pipeline-parallel degree of every replica (default 1)",
+    )
+    fleet.add_argument(
+        "--mix", default=None, metavar="SPEC",
+        help="heterogeneous fleet, e.g. 'cambricon-s=4,flexgen-ssd=2' "
+             "(overrides --num-devices/--backend)",
+    )
+    fleet.add_argument(
+        "--size-for-qps", type=float, default=None, metavar="QPS",
+        help="search the smallest replica count sustaining this rate under the SLO",
+    )
+    fleet.add_argument(
+        "--max-replicas", type=int, default=64,
+        help="replica-search ceiling for --size-for-qps (default 64)",
+    )
+    fleet.set_defaults(handler=_fleet_command)
+    return parser
+
+
+def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+    """Payload, workload, scheduler, SLO and output flags shared by
+    ``serve`` and ``fleet``."""
+    _add_model_argument(parser)
+    parser.add_argument(
+        "--backend", default="cambricon",
+        help=f"registered backend (default cambricon; {', '.join(list_backends())})",
+    )
+    parser.add_argument("--config", default="L", help="hardware config key (default L)")
+    parser.add_argument("--seq-len", type=int, default=1000, help="prompt length")
+    parser.add_argument(
+        "--gen-tokens", type=int, default=16, help="tokens generated per request"
+    )
+    parser.add_argument(
+        "--workload", choices=("poisson", "constant", "onoff", "trace"),
+        default="poisson", help="arrival process (default poisson)",
+    )
+    parser.add_argument(
+        "--qps", type=float, default=1.0,
+        help="mean arrival rate (burst rate for onoff; default 1.0)",
+    )
+    parser.add_argument(
+        "--num-requests", type=int, default=None,
+        help="arrivals to simulate (default 100; trace: the whole trace)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    parser.add_argument(
+        "--on-seconds", type=float, default=1.0, help="onoff: burst window length"
+    )
+    parser.add_argument(
+        "--off-seconds", type=float, default=1.0, help="onoff: silence window length"
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="trace CSV to replay (with --workload trace)",
+    )
+    parser.add_argument(
+        "--bundled-trace", default=None, metavar="NAME",
+        help="bundled trace fixture to replay with --workload trace "
+             f"({', '.join(list_bundled_traces()) or 'none shipped'})",
+    )
+    parser.add_argument(
+        "--scheduler", choices=sorted(_SCHEDULERS), default="fcfs",
+        help="request scheduler (default fcfs)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=8,
+        help="batch slots for static/continuous scheduling (default 8)",
+    )
+    parser.add_argument("--slo-ttft", type=float, default=None, help="TTFT SLO (s)")
+    parser.add_argument(
+        "--slo-tpot", type=float, default=None, help="time-per-output-token SLO (s)"
+    )
+    parser.add_argument("--slo-e2e", type=float, default=None, help="end-to-end SLO (s)")
+    parser.add_argument(
+        "--slo-attainment", type=float, default=0.95,
+        help="fraction of requests that must meet the SLO (default 0.95)",
+    )
+    parser.add_argument(
+        "--show-probes", action="store_true",
+        help="print the probe trail of a capacity/sizing search",
+    )
+    parser.add_argument(
         "--csv", default=None, metavar="PATH",
         help="write the per-request trace as CSV",
     )
-    serve.add_argument(
+    parser.add_argument(
         "--markdown", action="store_true", help="print a markdown table instead"
     )
-    serve.set_defaults(handler=_serve_command)
-    return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:

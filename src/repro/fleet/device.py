@@ -1,0 +1,106 @@
+"""One fleet replica: a backend-priced device with its own scheduler.
+
+A :class:`Device` bundles what :func:`repro.serving.simulator.simulate`
+keeps in local variables — a scheduler, a
+:class:`repro.serving.simulator.BackendCostModel`, the busy/idle state and
+the per-device timeline (busy seconds, queue-depth samples) — so the fleet
+event loop can interleave many of them on one clock.  Its planning and
+sampling semantics mirror the single-device loop exactly, which is what
+makes a 1-replica, unsharded fleet reproduce ``simulate()`` record for
+record.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.api.backend import Backend
+from repro.api.runner import ExperimentRunner
+from repro.fleet.sharding import ShardedBackend, ShardingSpec
+from repro.serving.request import RequestRecord
+from repro.serving.scheduler import FCFSScheduler, Occupancy, Scheduler
+from repro.serving.simulator import BackendCostModel
+
+
+class Device:
+    """One replica of the fleet: scheduler + cost model + timeline state."""
+
+    def __init__(
+        self,
+        backend: Union[str, Backend],
+        scheduler: Optional[Scheduler] = None,
+        *,
+        sharding: Optional[ShardingSpec] = None,
+        runner: Optional[ExperimentRunner] = None,
+    ):
+        if sharding is not None and not sharding.is_trivial:
+            backend = ShardedBackend(backend, sharding)
+        self.scheduler = scheduler if scheduler is not None else FCFSScheduler()
+        if self.scheduler.pending:
+            raise ValueError(
+                "device scheduler already has pending requests; use a fresh one"
+            )
+        self.cost = BackendCostModel(backend, runner=runner)
+        #: Display name of the backend, resolved on the first profile (the
+        #: fleet loop resolves idle devices against the stream's first
+        #: payload before reporting).
+        self.backend_name: Optional[str] = None
+
+        # -- timeline state ---------------------------------------------------
+        self.records: List[RequestRecord] = []
+        self.busy_until: Optional[float] = None
+        self.busy_s = 0.0
+        self.queue_depth: List[Tuple[float, int]] = []
+        self._occupancy: Optional[Occupancy] = None
+        #: Requests assigned but not finished (the router's queue signal).
+        self.outstanding = 0
+        #: Estimated seconds of solo work assigned but not finished.
+        self.outstanding_work_s = 0.0
+
+    # -- routing signals -----------------------------------------------------
+    def job_seconds(self, record: RequestRecord) -> float:
+        """The record's solo runtime on *this* device (routers compare these)."""
+        return self.cost.total_seconds(record.request)
+
+    @property
+    def idle(self) -> bool:
+        return self.busy_until is None
+
+    # -- event-loop interface ------------------------------------------------
+    def enqueue(self, record: RequestRecord, now: float) -> None:
+        """An arrival routed here joins this device's waiting queue."""
+        if self.backend_name is None:
+            # Resolve the display name (and fail fast on an OOM payload) on
+            # the first request, exactly like the single-device loop.
+            self.backend_name = self.cost.profile(record.request).backend_name
+        self.records.append(record)
+        self.outstanding += 1
+        self.outstanding_work_s += self.job_seconds(record)
+        self.scheduler.enqueue(record, now)
+
+    def maybe_start(self, now: float) -> None:
+        """Plan the next occupancy if idle; sample the queue after planning."""
+        if not self.idle:
+            return
+        occupancy = self.scheduler.next_occupancy(now, self.cost)
+        self.queue_depth.append((now, self.scheduler.waiting))
+        if occupancy is None:
+            return
+        if occupancy.seconds < 0:
+            raise ValueError("occupancy duration must be non-negative")
+        self.busy_until = now + occupancy.seconds
+        self.busy_s += occupancy.seconds
+        self._occupancy = occupancy
+
+    def complete(self, now: float) -> None:
+        """Finish the in-flight occupancy: stamp and release its records."""
+        for record in self._occupancy.completed:
+            record.finish_s = now
+            self.outstanding -= 1
+            self.outstanding_work_s -= self.job_seconds(record)
+        self.busy_until = None
+        self._occupancy = None
+
+    def finalize(self, makespan_s: float) -> None:
+        """Append the closing queue-depth sample (mirrors the single loop)."""
+        self.queue_depth.append((makespan_s, self.scheduler.waiting))

@@ -1,0 +1,138 @@
+"""Routing policies: which device an arriving request is sent to.
+
+A :class:`Router` sees every arrival once, at its arrival time, together
+with the live device states, and returns the index of the device that will
+own the request for its whole lifetime (there is no cross-device work
+stealing — migrating a half-decoded sequence would mean moving its KV
+cache).  All policies are deterministic: decisions are pure functions of
+the visible state with ties broken by device index, which is what keeps a
+seeded fleet trace byte-identical.
+
+Four policies are built in:
+
+* :class:`RoundRobinRouter` — cycle through devices regardless of state;
+  the stateless baseline.
+* :class:`JoinShortestQueueRouter` — fewest outstanding (assigned but
+  unfinished) requests; the classic JSQ policy, near-optimal for
+  homogeneous replicas.
+* :class:`LeastWorkRouter` — least outstanding *work* in estimated solo
+  seconds, so one long request counts for what it costs, not 1.
+* :class:`SLOAwareRouter` — smallest estimated completion of *this*
+  request: outstanding work plus the request's own solo runtime on that
+  device.  On a heterogeneous fleet this is the policy that knows a slow
+  device is slow, sending work there only when the fast queues are long
+  enough to make it worthwhile.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.fleet.device import Device
+from repro.serving.request import RequestRecord
+
+
+class Router:
+    """Base policy: subclasses implement :meth:`route`.
+
+    Routers may carry state (round-robin does), so the fleet simulator
+    claims each instance for a single run via :attr:`used` — reuse would
+    silently break seed-determinism of the device assignment.
+    """
+
+    name = "router"
+    #: Set by :func:`repro.fleet.simulator.simulate_fleet` on first use.
+    used = False
+
+    def route(
+        self, record: RequestRecord, devices: Sequence[Device], now: float
+    ) -> int:
+        """Index of the device that should own ``record``."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _argmin(scores: Sequence[float]) -> int:
+        """First index of the minimum — the deterministic tie-break."""
+        best = 0
+        for index in range(1, len(scores)):
+            if scores[index] < scores[best]:
+                best = index
+        return best
+
+
+class RoundRobinRouter(Router):
+    """Cycle through the devices in index order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def route(
+        self, record: RequestRecord, devices: Sequence[Device], now: float
+    ) -> int:
+        index = self._next % len(devices)
+        self._next = index + 1
+        return index
+
+
+class JoinShortestQueueRouter(Router):
+    """Fewest outstanding requests (assigned but not finished)."""
+
+    name = "jsq"
+
+    def route(
+        self, record: RequestRecord, devices: Sequence[Device], now: float
+    ) -> int:
+        return self._argmin([device.outstanding for device in devices])
+
+
+class LeastWorkRouter(Router):
+    """Least outstanding work, measured in estimated solo seconds."""
+
+    name = "least-work"
+
+    def route(
+        self, record: RequestRecord, devices: Sequence[Device], now: float
+    ) -> int:
+        return self._argmin([device.outstanding_work_s for device in devices])
+
+
+class SLOAwareRouter(Router):
+    """Smallest estimated completion time for *this* request.
+
+    Scores each device by its backlog plus the request's own solo runtime
+    there, i.e. heterogeneity-aware weighted routing: a device twice as
+    fast absorbs twice the load before the policy spills to a slow one.
+    """
+
+    name = "slo-aware"
+
+    def route(
+        self, record: RequestRecord, devices: Sequence[Device], now: float
+    ) -> int:
+        return self._argmin(
+            [
+                device.outstanding_work_s + device.job_seconds(record)
+                for device in devices
+            ]
+        )
+
+
+#: Router factories by CLI/registry name.
+ROUTERS = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    JoinShortestQueueRouter.name: JoinShortestQueueRouter,
+    LeastWorkRouter.name: LeastWorkRouter,
+    SLOAwareRouter.name: SLOAwareRouter,
+}
+
+
+def get_router(name: str) -> Router:
+    """Instantiate a router by name (:data:`ROUTERS` keys)."""
+    key = name.lower()
+    if key not in ROUTERS:
+        raise KeyError(
+            f"unknown router {name!r}; available: {', '.join(sorted(ROUTERS))}"
+        )
+    return ROUTERS[key]()

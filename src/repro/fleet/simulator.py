@@ -1,0 +1,171 @@
+"""The fleet event loop: many devices, one deterministic clock.
+
+:func:`simulate_fleet` generalizes :func:`repro.serving.simulator.simulate`
+from one device to N.  The global clock advances over three kinds of
+events — request arrivals (routed to a device the moment they happen),
+per-device occupancy completions, and the planning opportunities both
+create — and every device replays exactly the semantics of the
+single-device loop on its own slice of the timeline:
+
+* completions due at the current time are stamped *before* new arrivals
+  are delivered, and arrivals are delivered *before* idle devices plan,
+  mirroring the single-device iteration order;
+* a device samples its queue depth at every planning attempt (and once at
+  the end), so a 1-replica fleet reproduces ``simulate()``'s report —
+  records, busy seconds and queue-depth samples — exactly;
+* routing happens at arrival time against the live device states, and
+  every policy is deterministic, so a fixed workload seed fixes the device
+  assignment (and the trace CSV) byte for byte.
+
+All devices may share one :class:`repro.api.runner.ExperimentRunner`:
+a 16-device, 10k-request simulation still costs a handful of backend
+evaluations because every replica of the same backend hits the same
+memoized profiles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.api.backend import Backend
+from repro.api.runner import ExperimentRunner
+from repro.fleet.device import Device
+from repro.fleet.report import FleetReport
+from repro.fleet.router import JoinShortestQueueRouter, Router
+from repro.fleet.sharding import ShardingSpec
+from repro.serving.metrics import ServingReport, SLOSpec
+from repro.serving.request import RequestRecord, ServingRequest
+from repro.serving.scheduler import FCFSScheduler, Scheduler
+
+BackendLike = Union[str, Backend]
+
+
+def build_fleet(
+    backends: Sequence[BackendLike],
+    *,
+    scheduler_factory=FCFSScheduler,
+    sharding: Optional[ShardingSpec] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> List[Device]:
+    """One :class:`Device` per backend entry, all sharing ``runner``.
+
+    ``backends`` may repeat a backend (or its registry name) to build N
+    replicas, or mix different systems for a heterogeneous fleet.  Each
+    device gets a *fresh* scheduler from ``scheduler_factory`` and, when
+    ``sharding`` is given, the same sharding transform.  When no runner
+    is passed the fleet still shares one, so N replicas of the same
+    backend profile each request shape once, not N times.
+    """
+    if not backends:
+        raise ValueError("a fleet needs at least one backend")
+    runner = runner if runner is not None else ExperimentRunner()
+    return [
+        Device(
+            backend,
+            scheduler_factory(),
+            sharding=sharding,
+            runner=runner,
+        )
+        for backend in backends
+    ]
+
+
+def simulate_fleet(
+    requests: Iterable[ServingRequest],
+    devices: Sequence[Device],
+    router: Optional[Router] = None,
+    *,
+    slo: Optional[SLOSpec] = None,
+) -> FleetReport:
+    """Run the arrival stream across the fleet and merge the timelines."""
+    router = router if router is not None else JoinShortestQueueRouter()
+    if getattr(router, "used", False):
+        raise ValueError(
+            "router already drove a simulation; use a fresh one "
+            "(routers may carry state across route() calls)"
+        )
+    router.used = True
+    devices = list(devices)
+    if not devices:
+        raise ValueError("cannot simulate an empty fleet")
+    for device in devices:
+        if device.records or not device.idle:
+            raise ValueError("devices already carry state; build a fresh fleet")
+
+    records = [RequestRecord(request) for request in sorted(requests)]
+    if not records:
+        raise ValueError("cannot simulate an empty request stream")
+    arrivals = deque(records)
+    # Arrivals are delivered in `records` order, so appending each routed
+    # index builds a list parallel to `records`.
+    assignments: List[int] = []
+
+    now = 0.0
+    while True:
+        # 1. Stamp completions due now (device order is the tie-break).
+        for device in devices:
+            if not device.idle and device.busy_until <= now:
+                device.complete(now)
+        # 2. Deliver and route arrivals due now.
+        while arrivals and arrivals[0].arrival_s <= now:
+            record = arrivals.popleft()
+            index = router.route(record, devices, now)
+            if not 0 <= index < len(devices):
+                raise ValueError(
+                    f"router {router.name!r} routed to device {index} "
+                    f"of a {len(devices)}-device fleet"
+                )
+            assignments.append(index)
+            devices[index].enqueue(record, now)
+        # 3. Idle devices plan (sampling their queue depth as they do).
+        # A device with nothing pending and no arrivals left skips the
+        # attempt — the single-device loop's exit condition, which keeps
+        # its queue-depth sample stream identical for a 1-replica fleet.
+        for device in devices:
+            if arrivals or device.scheduler.pending:
+                device.maybe_start(now)
+        # 4. Advance to the next event, or stop.
+        next_times = [
+            device.busy_until for device in devices if not device.idle
+        ]
+        if arrivals:
+            next_times.append(arrivals[0].arrival_s)
+        if not next_times:
+            stuck = sum(device.scheduler.pending for device in devices)
+            if stuck:
+                raise RuntimeError(
+                    f"fleet schedulers report {stuck} pending requests "
+                    "but planned no work"
+                )
+            break
+        now = min(next_times)
+
+    for device in devices:
+        device.finalize(now)
+        if device.backend_name is None:
+            # A replica that received no traffic still resolves its display
+            # name against the stream's first payload (memoized, and the
+            # same fail-fast OOM check the single-device loop applies).
+            device.backend_name = device.cost.profile(records[0].request).backend_name
+
+    device_reports = [
+        ServingReport(
+            backend_name=device.backend_name,
+            scheduler_name=device.scheduler.name,
+            records=device.records,
+            makespan_s=now,
+            busy_s=device.busy_s,
+            queue_depth=device.queue_depth,
+            slo=slo,
+        )
+        for device in devices
+    ]
+    return FleetReport(
+        router_name=router.name,
+        device_reports=device_reports,
+        records=records,
+        assignments=assignments,
+        makespan_s=now,
+        slo=slo,
+    )

@@ -46,6 +46,8 @@ from repro.serving.workload import (
     PoissonWorkload,
     TraceWorkload,
     WorkloadGenerator,
+    list_bundled_traces,
+    load_bundled_trace,
     write_trace,
 )
 
@@ -58,6 +60,8 @@ __all__ = [
     "OnOffWorkload",
     "TraceWorkload",
     "write_trace",
+    "list_bundled_traces",
+    "load_bundled_trace",
     "Scheduler",
     "Occupancy",
     "FCFSScheduler",

@@ -90,7 +90,13 @@ class SLOSpec:
             raise ValueError("min_attainment must be in (0, 1]")
 
     def met_by(self, record: RequestRecord) -> bool:
-        """Whether one completed request satisfies every threshold."""
+        """Whether one completed request satisfies every threshold.
+
+        A request that never produced its first token or never finished
+        cannot have met a latency objective, whatever the thresholds.
+        """
+        if record.first_token_s is None or record.finish_s is None:
+            return False
         if self.ttft_s is not None and record.ttft_s > self.ttft_s:
             return False
         if self.tpot_s is not None and record.tpot_s > self.tpot_s:
@@ -121,25 +127,49 @@ class ServingReport:
         return len(self.records)
 
     @property
+    def completed_records(self) -> List[RequestRecord]:
+        """Records that ran to their last token (all of them, normally)."""
+        return [record for record in self.records if record.completed]
+
+    @property
+    def num_completed(self) -> int:
+        return len(self.completed_records)
+
+    @property
     def total_output_tokens(self) -> int:
-        return sum(record.output_tokens for record in self.records)
+        return sum(record.output_tokens for record in self.completed_records)
 
     # -- latency metrics -----------------------------------------------------
+    # Each list draws only on the lifecycle stamps a record actually has,
+    # so a run where nothing (or not everything) completed still reports:
+    # the percentiles simply cover fewer requests, or are None when empty.
     @property
     def ttfts(self) -> List[float]:
-        return [record.ttft_s for record in self.records]
+        return [
+            record.ttft_s
+            for record in self.records
+            if record.first_token_s is not None
+        ]
 
     @property
     def tpots(self) -> List[float]:
-        return [record.tpot_s for record in self.records]
+        return [
+            record.tpot_s
+            for record in self.records
+            if record.first_token_s is not None and record.finish_s is not None
+        ]
 
     @property
     def e2es(self) -> List[float]:
-        return [record.e2e_s for record in self.records]
+        return [record.e2e_s for record in self.completed_records]
 
     @property
     def queue_waits(self) -> List[float]:
-        return [record.queue_wait_s for record in self.records]
+        return [
+            record.queue_wait_s
+            for record in self.records
+            if record.prefill_start_s is not None
+        ]
 
     def percentiles(self, metric: str = "ttft") -> Dict[str, float]:
         """``{"p50": ..., "p95": ..., "p99": ...}`` for one latency metric.
@@ -163,7 +193,7 @@ class ServingReport:
     @property
     def throughput_rps(self) -> float:
         """Completed requests per simulated second."""
-        return self.num_requests / self.makespan_s if self.makespan_s > 0 else 0.0
+        return self.num_completed / self.makespan_s if self.makespan_s > 0 else 0.0
 
     @property
     def tokens_per_second(self) -> float:
@@ -202,8 +232,18 @@ class ServingReport:
         return met / len(self.records)
 
     def goodput_rps(self, slo: Optional[SLOSpec] = None) -> float:
-        """SLO-meeting requests per simulated second."""
-        return self.slo_attainment(slo) * self.throughput_rps
+        """SLO-meeting requests per simulated second.
+
+        Counted directly (not attainment x throughput): attainment is a
+        fraction of *all* requests while throughput counts *completed*
+        ones, and the two denominators differ when a run leaves requests
+        unfinished.
+        """
+        spec = self._slo(slo)
+        if self.makespan_s <= 0:
+            return 0.0
+        met = sum(1 for record in self.records if spec.met_by(record))
+        return met / self.makespan_s
 
     def meets_slo(self, slo: Optional[SLOSpec] = None) -> bool:
         """Whether attainment reaches the SLO's ``min_attainment``."""
@@ -224,9 +264,9 @@ class ServingReport:
             ["throughput (req/s)", self.throughput_rps],
             ["throughput (token/s)", self.tokens_per_second],
             ["device utilization (%)", 100.0 * self.utilization],
-            ["TTFT p50/p95/p99 (s)", _triplet(ttft)],
-            ["TPOT p50/p95/p99 (ms)", _triplet(tpot, scale=1e3)],
-            ["e2e p50/p95/p99 (s)", _triplet(e2e)],
+            ["TTFT p50/p95/p99 (s)", percentile_triplet(ttft)],
+            ["TPOT p50/p95/p99 (ms)", percentile_triplet(tpot, scale=1e3)],
+            ["e2e p50/p95/p99 (s)", percentile_triplet(e2e)],
             ["queue depth mean/max", f"{self.mean_queue_depth:.2f}/{self.max_queue_depth}"],
         ]
         if self.slo is not None:
@@ -254,26 +294,7 @@ class ServingReport:
         )
         writer.writeheader()
         for record in self.records:
-            request = record.request
-            writer.writerow(
-                {
-                    "request_id": record.request_id,
-                    "arrival_s": record.arrival_s,
-                    "model": request.model_name,
-                    "config": request.config or "",
-                    "seq_len": request.seq_len,
-                    "gen_tokens": request.gen_tokens,
-                    "batch_size": request.batch_size,
-                    "prefill_start_s": record.prefill_start_s,
-                    "first_token_s": record.first_token_s,
-                    "finish_s": record.finish_s,
-                    "queue_wait_s": record.queue_wait_s,
-                    "ttft_s": record.ttft_s,
-                    "tpot_s": record.tpot_s,
-                    "e2e_s": record.e2e_s,
-                    "slo_met": "" if self.slo is None else self.slo.met_by(record),
-                }
-            )
+            writer.writerow(trace_row(record, self.slo))
         text = buffer.getvalue()
         if path is not None:
             with open(path, "w", newline="") as handle:
@@ -281,7 +302,40 @@ class ServingReport:
         return text
 
 
-def _triplet(values: Dict[str, Optional[float]], scale: float = 1.0) -> str:
+def trace_row(record: RequestRecord, slo: Optional[SLOSpec]) -> Dict[str, object]:
+    """One :data:`TRACE_CSV_FIELDS` row; blank cells for unstamped times.
+
+    Shared by :meth:`ServingReport.to_csv` and the fleet trace export so
+    every trace CSV in the repo renders a record identically.
+    """
+    request = record.request
+    incomplete = record.first_token_s is None or record.finish_s is None
+    return {
+        "request_id": record.request_id,
+        "arrival_s": record.arrival_s,
+        "model": request.model_name,
+        "config": request.config or "",
+        "seq_len": request.seq_len,
+        "gen_tokens": request.gen_tokens,
+        "batch_size": request.batch_size,
+        "prefill_start_s": _blank_if_none(record.prefill_start_s),
+        "first_token_s": _blank_if_none(record.first_token_s),
+        "finish_s": _blank_if_none(record.finish_s),
+        "queue_wait_s": (
+            "" if record.prefill_start_s is None else record.queue_wait_s
+        ),
+        "ttft_s": "" if record.first_token_s is None else record.ttft_s,
+        "tpot_s": "" if incomplete else record.tpot_s,
+        "e2e_s": "" if record.finish_s is None else record.e2e_s,
+        "slo_met": "" if slo is None else slo.met_by(record),
+    }
+
+
+def _blank_if_none(value: Optional[float]) -> object:
+    return "" if value is None else value
+
+
+def percentile_triplet(values: Dict[str, Optional[float]], scale: float = 1.0) -> str:
     cells = []
     for key in ("p50", "p95", "p99"):
         value = values[key]

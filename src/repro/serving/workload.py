@@ -22,6 +22,7 @@ from the generator's seeded RNG (heterogeneous traffic).
 from __future__ import annotations
 
 import csv
+import os
 import random
 from typing import Callable, List, Optional, Sequence, Union
 
@@ -33,6 +34,9 @@ PayloadLike = Union[InferenceRequest, Callable[[random.Random, int], InferenceRe
 
 #: Column order of the on-disk trace format (see :func:`write_trace`).
 TRACE_FIELDS = ["arrival_s", "model", "config", "seq_len", "gen_tokens", "batch_size"]
+
+#: Production-shaped trace fixtures shipped with the package.
+TRACES_DIR = os.path.join(os.path.dirname(__file__), "traces")
 
 
 class WorkloadGenerator:
@@ -175,6 +179,35 @@ class TraceWorkload:
                 f"{num_requests} were requested"
             )
         return self._requests[:num_requests]
+
+
+def list_bundled_traces() -> List[str]:
+    """Names of the trace fixtures shipped under ``repro/serving/traces``."""
+    if not os.path.isdir(TRACES_DIR):
+        return []
+    return sorted(
+        name[: -len(".csv")]
+        for name in os.listdir(TRACES_DIR)
+        if name.endswith(".csv")
+    )
+
+
+def load_bundled_trace(name: str) -> TraceWorkload:
+    """A bundled production-shaped trace as a :class:`TraceWorkload`.
+
+    Two fixtures ship with the package:
+
+    * ``"diurnal"`` — a day-shaped load curve compressed to ~10 simulated
+      minutes: sine-modulated Poisson arrivals (quiet night, busy peak)
+      with chat-shaped heavy-tailed generation lengths;
+    * ``"flash_crowd"`` — a quiet baseline rate hit by a ~40x arrival
+      spike (a link going viral), then back to the baseline.
+    """
+    path = os.path.join(TRACES_DIR, f"{name}.csv")
+    if not os.path.isfile(path):
+        available = ", ".join(list_bundled_traces()) or "none"
+        raise KeyError(f"unknown bundled trace {name!r}; available: {available}")
+    return TraceWorkload.from_csv(path)
 
 
 def write_trace(path: str, requests: Sequence[ServingRequest]) -> None:

@@ -1,0 +1,113 @@
+"""Tests for the ``fleet`` CLI subcommand."""
+
+import pytest
+
+from repro.cli import main
+
+_BASE = [
+    "fleet", "opt-6.7b", "--config", "S", "--gen-tokens", "4",
+    "--qps", "0.6", "--num-requests", "20", "--seed", "0",
+]
+
+
+def test_fleet_prints_summary_and_per_device_tables(capsys):
+    assert main(_BASE + ["--num-devices", "3"]) == 0
+    output = capsys.readouterr().out
+    assert "Fleet simulation" in output
+    assert "3 devices" in output
+    assert "jsq router" in output
+    assert "imbalance (util max-min)" in output
+    assert "Per-device breakdown" in output
+    assert "0:Cambricon-LLM-S" in output
+    assert "2:Cambricon-LLM-S" in output
+
+
+@pytest.mark.parametrize("router", ["round-robin", "jsq", "least-work", "slo-aware"])
+def test_fleet_supports_every_router(capsys, router):
+    assert main(_BASE + ["--num-devices", "2", "--router", router]) == 0
+    assert f"{router} router" in capsys.readouterr().out
+
+
+def test_fleet_mix_builds_a_heterogeneous_fleet(capsys):
+    assert main(_BASE + ["--mix", "cambricon-s=2,cambricon-l=1",
+                         "--router", "slo-aware"]) == 0
+    output = capsys.readouterr().out
+    assert "Cambricon-LLM-S" in output
+    assert "Cambricon-LLM-L" in output
+
+
+def test_fleet_mix_rejects_unknown_backends():
+    with pytest.raises(SystemExit, match="unknown backend"):
+        main(_BASE + ["--mix", "not-a-backend=2"])
+
+
+def test_fleet_sharding_flags_change_the_device_name(capsys):
+    assert main(_BASE + ["--num-devices", "2", "--tp", "2", "--pp", "2"]) == 0
+    assert "xtp2pp2" in capsys.readouterr().out
+
+
+def test_fleet_csv_is_byte_identical_and_carries_device_column(capsys, tmp_path):
+    """Acceptance: seed fixes the trace, including device assignment."""
+    first, second = tmp_path / "a.csv", tmp_path / "b.csv"
+    assert main(_BASE + ["--num-devices", "4", "--csv", str(first)]) == 0
+    assert main(_BASE + ["--num-devices", "4", "--csv", str(second)]) == 0
+    capsys.readouterr()
+    assert first.read_bytes() == second.read_bytes()
+    header, row = first.read_text().splitlines()[:2]
+    assert header.startswith("request_id,device,arrival_s")
+    assert row.split(",")[1].isdigit()
+
+
+def test_fleet_size_for_qps_reports_the_replica_count(capsys):
+    assert main(
+        ["fleet", "opt-6.7b", "--config", "S", "--gen-tokens", "4",
+         "--num-requests", "40", "--slo-e2e", "60",
+         "--size-for-qps", "1.0", "--show-probes"]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "Fleet sizing" in output
+    assert "replicas needed" in output
+    assert "total chips" in output
+    assert "Probe trail" in output
+    # Probe rows: index, replicas, tp, pp, met flag.
+    probe_lines = output.split("Probe trail")[1].strip().splitlines()[3:]
+    assert probe_lines
+    assert all(("yes" in line) or ("no" in line) for line in probe_lines)
+
+
+def test_fleet_size_for_qps_requires_an_slo():
+    with pytest.raises(SystemExit, match="needs an SLO"):
+        main(_BASE + ["--size-for-qps", "1.0"])
+
+
+def test_fleet_replays_a_bundled_trace(capsys):
+    assert main(
+        ["fleet", "opt-6.7b", "--config", "S", "--workload", "trace",
+         "--bundled-trace", "diurnal", "--num-requests", "30",
+         "--num-devices", "2", "--scheduler", "continuous"]
+    ) == 0
+    assert "trace workload" in capsys.readouterr().out
+
+
+def test_fleet_markdown_output(capsys):
+    assert main(_BASE + ["--num-devices", "2", "--markdown"]) == 0
+    output = capsys.readouterr().out
+    assert "| metric | value |" in output
+    assert "| device | scheduler |" in output
+
+
+def test_fleet_size_for_qps_rejects_non_poisson_workloads():
+    with pytest.raises(SystemExit, match="Poisson"):
+        main(["fleet", "opt-6.7b", "--slo-e2e", "60", "--size-for-qps", "1.0",
+              "--workload", "trace", "--bundled-trace", "flash_crowd"])
+
+
+def test_fleet_size_for_qps_rejects_num_devices():
+    with pytest.raises(SystemExit, match="--max-replicas"):
+        main(["fleet", "opt-6.7b", "--slo-e2e", "60", "--size-for-qps", "1.0",
+              "--num-devices", "8"])
+
+
+def test_fleet_show_probes_requires_a_sizing_search():
+    with pytest.raises(SystemExit, match="--size-for-qps"):
+        main(_BASE + ["--num-devices", "2", "--show-probes"])

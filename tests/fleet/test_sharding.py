@@ -1,0 +1,87 @@
+"""Tests for the tensor/pipeline sharding latency transform."""
+
+import pytest
+
+from serving_toys import ToyBackend
+
+from repro.api import ExperimentRunner, InferenceRequest
+from repro.fleet import ShardedBackend, ShardingSpec
+
+PAYLOAD = InferenceRequest(model="opt-6.7b", seq_len=500, gen_tokens=10)
+
+
+def test_spec_validation_and_accounting():
+    assert ShardingSpec().is_trivial
+    assert ShardingSpec().num_devices == 1
+    spec = ShardingSpec(tensor_parallel=4, pipeline_parallel=2)
+    assert spec.num_devices == 8
+    assert spec.label == "tp4pp2"
+    assert ShardingSpec(pipeline_parallel=2).label == "pp2"
+    with pytest.raises(ValueError):
+        ShardingSpec(tensor_parallel=0)
+    with pytest.raises(ValueError):
+        ShardingSpec(allreduce_s=-1.0)
+
+
+def test_tensor_parallel_divides_compute_and_adds_allreduce():
+    base = ToyBackend(ttft=1.0, step=0.1)
+    spec = ShardingSpec(tensor_parallel=2, allreduce_s=0.01)
+    result = ShardedBackend(base, spec).run(PAYLOAD)
+    assert result.time_to_first_token_s == pytest.approx(1.0 / 2 + 0.01)
+    assert result.decode_step_seconds == pytest.approx(0.1 / 2 + 0.01)
+    # Throughput rises with the shorter step.
+    assert result.tokens_per_second > base.run(PAYLOAD).tokens_per_second
+
+
+def test_pipeline_parallel_raises_throughput_but_not_first_token():
+    base = ToyBackend(ttft=1.0, step=0.1)
+    spec = ShardingSpec(pipeline_parallel=4, handoff_s=0.005)
+    result = ShardedBackend(base, spec).run(PAYLOAD)
+    # The first token pays the stage handoffs on top of the full pass.
+    assert result.time_to_first_token_s == pytest.approx(1.0 + 3 * 0.005)
+    # The steady-state step clock divides by the stage count.
+    assert result.decode_step_seconds == pytest.approx(0.1 / 4 + 0.005)
+
+
+def test_oversharding_hits_the_interconnect_wall():
+    """More chips stop paying once the all-reduce dominates the step."""
+    base = ToyBackend(ttft=1.0, step=0.1)
+    spec = ShardingSpec(tensor_parallel=2, allreduce_s=0.2)
+    result = ShardedBackend(base, spec).run(PAYLOAD)
+    assert result.decode_step_seconds > base.run(PAYLOAD).decode_step_seconds
+    assert result.bottleneck == "interconnect"
+
+
+def test_trivial_spec_is_the_identity():
+    base = ToyBackend(ttft=1.0, step=0.1)
+    sharded = ShardedBackend(base, ShardingSpec())
+    assert sharded.name == base.name
+    assert sharded.run(PAYLOAD) is base.run(PAYLOAD) or (
+        sharded.run(PAYLOAD).total_seconds == base.run(PAYLOAD).total_seconds
+    )
+
+
+def test_sharded_backend_memoizes_distinctly_per_degree():
+    base = ToyBackend()
+    runner = ExperimentRunner()
+    tp2 = ShardedBackend(base, ShardingSpec(tensor_parallel=2))
+    tp4 = ShardedBackend(base, ShardingSpec(tensor_parallel=4))
+    a = runner.run(tp2, PAYLOAD)
+    b = runner.run(tp4, PAYLOAD)
+    assert a.decode_step_seconds != b.decode_step_seconds
+    assert runner.run(tp2, PAYLOAD) is a  # cache hit, not a re-run
+    assert tp2.cache_key != tp4.cache_key
+
+
+def test_sharded_backend_resolves_registry_names_and_total_is_consistent():
+    sharded = ShardedBackend("cambricon", ShardingSpec(tensor_parallel=2))
+    request = InferenceRequest(model="opt-6.7b", config="S", seq_len=1000, gen_tokens=8)
+    result = sharded.run(request)
+    base = sharded.base.run(request)
+    assert result.total_seconds == pytest.approx(
+        result.time_to_first_token_s
+        + base.phase_seconds["decode"]
+        * (result.decode_step_seconds / base.decode_step_seconds)
+    )
+    assert result.backend_name.endswith("xtp2")
+    assert "tp2" in sharded.name

@@ -18,6 +18,13 @@ class ToyBackend:
         self.step = step
         self.calls = 0
 
+    @property
+    def cache_key(self):
+        # Every knob that changes the result (the Backend contract): two
+        # differently-tuned toys sharing one ExperimentRunner must not
+        # collide in its memo, e.g. on a heterogeneous fleet.
+        return f"toy[ttft={self.ttft!r}|step={self.step!r}]"
+
     def run(self, request):
         self.calls += 1
         decode = request.gen_tokens * self.step

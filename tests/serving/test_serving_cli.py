@@ -104,3 +104,65 @@ def test_serve_find_max_qps_rejects_non_poisson_workloads():
 def test_serve_rejects_zero_num_requests():
     with pytest.raises(ValueError, match="num_requests"):
         main(["serve", "opt-6.7b", "--num-requests", "0"])
+
+
+def test_find_max_qps_show_probes_prints_the_trail(capsys):
+    assert main(
+        ["serve", "opt-6.7b", "--config", "S", "--gen-tokens", "4",
+         "--num-requests", "40", "--slo-e2e", "60",
+         "--find-max-qps", "--show-probes"]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "Probe trail" in output
+    section = output.split("Probe trail")[1]
+    probe_lines = [line for line in section.strip().splitlines()[3:] if line.strip()]
+    # One row per probe, each carrying a rate and a met/violated verdict.
+    assert len(probe_lines) >= 2
+    assert all(("yes" in line) or ("no" in line) for line in probe_lines)
+    assert any("yes" in line for line in probe_lines)
+
+
+def test_find_max_qps_without_show_probes_stays_quiet(capsys):
+    assert main(
+        ["serve", "opt-6.7b", "--config", "S", "--gen-tokens", "4",
+         "--num-requests", "40", "--slo-e2e", "60", "--find-max-qps"]
+    ) == 0
+    assert "Probe trail" not in capsys.readouterr().out
+
+
+def test_serve_replays_a_bundled_trace(capsys):
+    assert main(
+        ["serve", "opt-6.7b", "--workload", "trace", "--bundled-trace", "diurnal",
+         "--num-requests", "25", "--scheduler", "continuous"]
+    ) == 0
+    assert "trace workload" in capsys.readouterr().out
+
+
+def test_unknown_bundled_trace_is_a_clean_cli_error():
+    with pytest.raises(SystemExit, match="available: diurnal"):
+        main(["serve", "opt-6.7b", "--workload", "trace",
+              "--bundled-trace", "diurnall"])
+
+
+def test_conflicting_or_misplaced_trace_flags_error_cleanly(tmp_path):
+    path = str(tmp_path / "t.csv")
+    payload = InferenceRequest(model="opt-6.7b", seq_len=100, gen_tokens=2)
+    write_trace(path, PoissonWorkload(1.0, payload, seed=0).generate(3))
+    with pytest.raises(SystemExit, match="not both"):
+        main(["serve", "opt-6.7b", "--workload", "trace",
+              "--trace", path, "--bundled-trace", "diurnal"])
+    with pytest.raises(SystemExit, match="--workload trace"):
+        main(["serve", "opt-6.7b", "--workload", "poisson",
+              "--bundled-trace", "diurnal"])
+
+
+def test_find_max_qps_rejects_dangling_trace_flags():
+    """The search branch must not silently drop --bundled-trace."""
+    with pytest.raises(SystemExit, match="--workload trace"):
+        main(["serve", "opt-6.7b", "--slo-e2e", "60", "--find-max-qps",
+              "--bundled-trace", "diurnal"])
+
+
+def test_serve_show_probes_requires_a_capacity_search():
+    with pytest.raises(SystemExit, match="--find-max-qps"):
+        main(_BASE + ["--show-probes"])

@@ -146,3 +146,95 @@ def test_report_csv_contains_the_per_request_trace(tmp_path):
     assert len(lines) == 3
     assert lines[1].endswith("True")   # fast request met the SLO
     assert lines[2].endswith("False")  # slow one did not
+
+
+# -- robustness: reports with incomplete or no records ------------------------
+
+def _empty_report(slo=None):
+    return ServingReport(
+        backend_name="toy",
+        scheduler_name="fcfs",
+        records=[],
+        makespan_s=0.0,
+        busy_s=0.0,
+        queue_depth=[],
+        slo=slo,
+    )
+
+
+def test_report_with_zero_requests_renders_everywhere():
+    """Regression: nothing completed must still produce a usable report."""
+    report = _empty_report(slo=SLOSpec(ttft_s=1.0))
+    assert report.percentiles("ttft") == {"p50": None, "p95": None, "p99": None}
+    assert report.throughput_rps == 0.0
+    assert report.slo_attainment() == 0.0
+    assert not report.meets_slo()
+    headers, rows = report.summary_rows()
+    assert headers == ["metric", "value"]
+    assert "-/-/-" in [row[1] for row in rows]  # empty percentile triplets
+    markdown = report.to_markdown()
+    assert "| TTFT p50/p95/p99 (s) | -/-/- |" in markdown
+    csv_text = report.to_csv()
+    assert csv_text.startswith("request_id,")
+    assert len(csv_text.splitlines()) == 1  # header only
+
+
+def test_report_with_unfinished_records_uses_only_stamped_metrics():
+    """A request stuck in the queue (no stamps) contributes nothing."""
+    finished = _record(0.0, 0.0, 0.5, 1.0, request_id=0)
+    stuck = _record(0.5, None, None, None, request_id=1)
+    report = _report([finished, stuck], makespan=10.0, busy=1.0,
+                     slo=SLOSpec(ttft_s=1.0))
+    assert report.num_requests == 2
+    assert report.num_completed == 1
+    assert report.ttfts == [0.5]
+    assert report.tpots == [0.125]
+    assert report.e2es == [1.0]
+    assert report.throughput_rps == pytest.approx(0.1)   # completed only
+    assert report.total_output_tokens == 4               # completed only
+    assert report.slo_attainment() == pytest.approx(0.5)  # stuck can't meet
+    report.summary_rows()
+    report.to_markdown()
+    lines = report.to_csv().splitlines()
+    assert len(lines) == 3
+    assert ",,,,,False" in lines[2]  # blank timestamps, SLO not met
+
+
+def test_slospec_never_met_by_an_unfinished_record():
+    stuck = _record(0.0, 1.0, None, None)
+    assert not SLOSpec(ttft_s=100.0).met_by(stuck)
+
+
+# -- percentile edge cases ----------------------------------------------------
+
+def test_percentile_single_element_is_constant_in_q():
+    for q in (0.0, 25.0, 50.0, 99.9, 100.0):
+        assert percentile([3.5], q) == 3.5
+
+
+def test_percentile_accepts_unsorted_input_without_mutating_it():
+    values = [9.0, 1.0, 5.0, 3.0, 7.0]
+    copy = list(values)
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 9.0
+    assert percentile(values, 50) == 5.0
+    assert values == copy
+
+
+def test_percentile_rejects_out_of_range_q():
+    with pytest.raises(ValueError):
+        percentile([1.0], -0.1)
+    with pytest.raises(ValueError):
+        percentile([1.0], 100.1)
+
+
+def test_goodput_counts_met_requests_directly_with_incomplete_records():
+    """Regression: attainment (over all) x throughput (over completed)
+    double-discounted goodput when some requests never finished."""
+    met = _record(0.0, 0.0, 0.5, 1.0, request_id=0)
+    stuck = _record(0.5, None, None, None, request_id=1)
+    report = _report([met, stuck], makespan=10.0, busy=1.0,
+                     slo=SLOSpec(ttft_s=1.0))
+    assert report.slo_attainment() == pytest.approx(0.5)
+    assert report.throughput_rps == pytest.approx(0.1)
+    assert report.goodput_rps() == pytest.approx(0.1)  # 1 met / 10 s

@@ -246,3 +246,17 @@ def test_queue_depth_tracks_the_fcfs_backlog():
     # r1 waits exactly while r0 occupies the device: depth 1 for 1.3 of 2.6 s.
     assert report.max_queue_depth == 1
     assert report.mean_queue_depth == pytest.approx(0.5)
+
+
+def test_queue_depth_sampling_is_deterministic_across_seeded_runs():
+    """The exact (time, depth) step function reproduces run over run."""
+    def run():
+        workload = PoissonWorkload(4.0, PAYLOAD, seed=13)
+        return simulate(
+            workload.generate(150), ToyBackend(), StaticBatchScheduler(max_batch=3)
+        )
+
+    a, b = run(), run()
+    assert a.queue_depth == b.queue_depth
+    assert a.max_queue_depth == b.max_queue_depth
+    assert a.mean_queue_depth == b.mean_queue_depth
