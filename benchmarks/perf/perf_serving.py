@@ -1,0 +1,239 @@
+"""Tracked perf benchmarks for the serving / fleet / capacity hot paths.
+
+Unlike the figure suite (which checks the *model's numbers*), this suite
+tracks how fast the simulators themselves run, so every PR has a perf
+trajectory to answer to.  Each scenario times the coalesced event loop
+(the default) against the step-by-step reference (``max_steps=1``),
+verifies the two produce byte-identical per-request trace CSVs, and
+records wall-clock seconds plus events processed into ``BENCH_serving.json``::
+
+    PYTHONPATH=src python benchmarks/perf/perf_serving.py --output BENCH_serving.json
+
+Wall-clock numbers vary with the host; the events-processed counters and
+the byte-identical flags are deterministic.  ``--check`` additionally
+enforces the tentpole acceptance bar (>= 10x on the 5k x 256-token
+continuous-batching scenario) and that every scenario stayed
+byte-identical — used by the non-blocking CI perf job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.api import InferenceRequest  # noqa: E402
+from repro.fleet import JoinShortestQueueRouter, build_fleet, simulate_fleet  # noqa: E402
+from repro.serving import (  # noqa: E402
+    BackendCostModel,
+    ContinuousBatchScheduler,
+    PoissonWorkload,
+    SLOSpec,
+    find_max_qps,
+    simulate,
+)
+
+BACKEND = "cambricon"
+MAX_BATCH = 8
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def _overload_arrivals(payload, num_requests, *, rate_scale=1.5, seed=0):
+    """A Poisson stream slightly above the batched service rate, so the
+    device stays saturated and decode dominates (the paper's heavy-traffic
+    regime, and the worst case for a per-step event loop)."""
+    solo = BackendCostModel(BACKEND).total_seconds(payload)
+    rate = rate_scale * MAX_BATCH / solo
+    return PoissonWorkload(rate, payload, seed=seed).generate(num_requests)
+
+
+def bench_serving_continuous(num_requests=5000, gen_tokens=256):
+    """The tentpole scenario: 5k requests x 256-token generations under
+    continuous batching, coalesced vs. step-by-step."""
+    payload = InferenceRequest(model="llama2-7b", seq_len=512, gen_tokens=gen_tokens)
+    arrivals = _overload_arrivals(payload, num_requests)
+    # Warm the backend-profile cache so wall-clock measures the event
+    # loop, not the (memoized) analytical backend evaluations.
+    simulate(arrivals[:50], BACKEND, ContinuousBatchScheduler(max_batch=MAX_BATCH))
+
+    baseline_s, baseline = _timed(
+        lambda: simulate(
+            arrivals,
+            BACKEND,
+            ContinuousBatchScheduler(max_batch=MAX_BATCH),
+            max_steps=1,
+        )
+    )
+    coalesced_s, coalesced = _timed(
+        lambda: simulate(
+            arrivals, BACKEND, ContinuousBatchScheduler(max_batch=MAX_BATCH)
+        )
+    )
+    return {
+        "num_requests": num_requests,
+        "gen_tokens": gen_tokens,
+        "seconds": coalesced_s,
+        "events": coalesced.num_events,
+        "uncoalesced_seconds": baseline_s,
+        "uncoalesced_events": baseline.num_events,
+        "speedup": baseline_s / coalesced_s,
+        "events_ratio": baseline.num_events / coalesced.num_events,
+        "byte_identical": baseline.to_csv() == coalesced.to_csv(),
+    }
+
+
+def bench_fleet_jsq(num_requests=2000, gen_tokens=128, num_devices=4):
+    """Fleet loop: 4 continuous-batching replicas behind JSQ routing."""
+    payload = InferenceRequest(model="llama2-7b", seq_len=512, gen_tokens=gen_tokens)
+    arrivals = _overload_arrivals(
+        payload, num_requests, rate_scale=1.5 * num_devices, seed=1
+    )
+
+    def run(max_steps):
+        fleet = build_fleet(
+            [BACKEND] * num_devices,
+            scheduler_factory=lambda: ContinuousBatchScheduler(max_batch=MAX_BATCH),
+        )
+        return simulate_fleet(
+            arrivals, fleet, JoinShortestQueueRouter(), max_steps=max_steps
+        )
+
+    run(None)  # warm the profile caches
+    baseline_s, baseline = _timed(lambda: run(1))
+    coalesced_s, coalesced = _timed(lambda: run(None))
+    return {
+        "num_requests": num_requests,
+        "gen_tokens": gen_tokens,
+        "num_devices": num_devices,
+        "seconds": coalesced_s,
+        "events": coalesced.num_events,
+        "uncoalesced_seconds": baseline_s,
+        "uncoalesced_events": baseline.num_events,
+        "speedup": baseline_s / coalesced_s,
+        "events_ratio": baseline.num_events / coalesced.num_events,
+        "byte_identical": baseline.to_csv() == coalesced.to_csv(),
+    }
+
+
+def bench_capacity_search(num_requests=400, gen_tokens=64):
+    """Capacity search: early-exit on hopeless probes vs. full simulation.
+
+    Half of every bisection is failing probes; ``fail_fast`` aborts them
+    once attainment is mathematically decided.  The found rate must not
+    change.
+    """
+    payload = InferenceRequest(model="llama2-7b", seq_len=512, gen_tokens=gen_tokens)
+    slo = SLOSpec(ttft_s=20.0, e2e_s=120.0)
+
+    def run(fail_fast):
+        return find_max_qps(
+            BACKEND,
+            payload,
+            slo,
+            scheduler_factory=lambda: ContinuousBatchScheduler(max_batch=MAX_BATCH),
+            num_requests=num_requests,
+            fail_fast=fail_fast,
+        )
+
+    run(True)  # warm the profile caches
+    baseline_s, baseline = _timed(lambda: run(False))
+    fast_s, fast = _timed(lambda: run(True))
+
+    # Per-probe cost: replay every *failing* rate both ways and count the
+    # events the early exit saved (deterministic, host-independent).
+    cost = BackendCostModel(BACKEND)
+    full_events = aborted_events = 0
+    for rate, met in fast.probes:
+        if met:
+            continue
+        arrivals = PoissonWorkload(rate, payload, seed=0).generate(num_requests)
+        for fail_fast, bucket in ((False, "full"), (True, "aborted")):
+            report = simulate(
+                arrivals,
+                cost,
+                ContinuousBatchScheduler(max_batch=MAX_BATCH),
+                slo=slo,
+                fail_fast=fail_fast,
+            )
+            if bucket == "full":
+                full_events += report.num_events
+            else:
+                aborted_events += report.num_events
+    return {
+        "num_requests": num_requests,
+        "gen_tokens": gen_tokens,
+        "seconds": fast_s,
+        "uncoalesced_seconds": baseline_s,
+        "speedup": baseline_s / fast_s,
+        "probes": len(fast.probes),
+        "max_qps": fast.max_qps,
+        "failing_probe_events": aborted_events,
+        "failing_probe_events_full": full_events,
+        "events_ratio": full_events / aborted_events if aborted_events else 1.0,
+        "byte_identical": fast.max_qps == baseline.max_qps
+        and fast.probes == baseline.probes,
+    }
+
+
+SCENARIOS = {
+    "serving_continuous_5k_256": bench_serving_continuous,
+    "fleet_jsq_4dev_2k_128": bench_fleet_jsq,
+    "capacity_search_fail_fast": bench_capacity_search,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default="BENCH_serving.json", help="where to write the JSON record"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless the tentpole scenario is >=10x and all outputs match",
+    )
+    args = parser.parse_args(argv)
+
+    results = {}
+    for name, bench in SCENARIOS.items():
+        print(f"[{name}] running ...", flush=True)
+        results[name] = bench()
+        row = results[name]
+        print(
+            f"[{name}] {row['uncoalesced_seconds']:.2f}s -> {row['seconds']:.2f}s "
+            f"({row['speedup']:.1f}x), identical={row['byte_identical']}"
+        )
+
+    record = {"suite": "serving-perf", "schema_version": 1, "scenarios": results}
+    with open(args.output, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        failures = [
+            name for name, row in results.items() if not row["byte_identical"]
+        ]
+        tentpole = results["serving_continuous_5k_256"]["speedup"]
+        if failures:
+            raise SystemExit(f"outputs diverged in: {', '.join(failures)}")
+        if tentpole < 10.0:
+            raise SystemExit(
+                f"tentpole speedup {tentpole:.1f}x is below the 10x acceptance bar"
+            )
+        print(f"check ok: tentpole speedup {tentpole:.1f}x, all outputs identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

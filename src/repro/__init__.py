@@ -39,6 +39,11 @@ timestamped requests — seeded workload generators, pluggable schedulers
 tensor/pipeline sharding transforms and a ``size_fleet`` capacity planner
 ("how many chiplets for X qps under this SLO"), exposed as
 ``python -m repro fleet``.
+
+Both event loops fast-forward through provably uneventful decode
+stretches (occupancy coalescing), so million-step traces simulate in
+seconds while staying byte-identical to the step-by-step reference;
+``benchmarks/perf/`` tracks the trajectory in ``BENCH_serving.json``.
 """
 
 from repro.api import (
@@ -101,7 +106,7 @@ from repro.fleet import (
     size_fleet,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

@@ -175,6 +175,17 @@ class ExperimentRunner:
         with self._lock:
             return {"hits": self._hits, "misses": self._misses, "size": len(self._cache)}
 
+    def stats(self) -> Dict[str, int]:
+        """:meth:`cache_info` plus live execution state — the runner-side
+        counterpart of :meth:`repro.serving.simulator.BackendCostModel.cache_info`."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._cache),
+                "in_flight": len(self._inflight),
+            }
+
     def clear_cache(self) -> None:
         with self._lock:
             self._cache.clear()

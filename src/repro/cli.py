@@ -37,6 +37,7 @@ from repro.fleet import (
 from repro.llm.models import list_models
 from repro.reporting import print_table
 from repro.serving import (
+    BackendCostModel,
     ConstantRateWorkload,
     ContinuousBatchScheduler,
     FCFSScheduler,
@@ -272,6 +273,36 @@ def _emit_report(
     return 0
 
 
+def _cache_stats_table(cost_models, runner: ExperimentRunner):
+    """One (title, headers, rows) extra table for ``--show-cache-stats``.
+
+    ``latency *`` counters aggregate the distinct cost models' interned
+    scalar lookups; ``profile *`` is the shared runner's backend-eval view.
+    """
+    seen = set()
+    latency = {"hits": 0, "misses": 0, "size": 0}
+    for cost in cost_models:
+        if id(cost) in seen:
+            continue
+        seen.add(id(cost))
+        info = cost.cache_info()
+        latency["hits"] += info["latency_hits"]
+        latency["misses"] += info["latency_misses"]
+        latency["size"] += info["latency_size"]
+    profile = runner.stats()
+    rows = [
+        ["cost models", len(seen)],
+        ["latency hits", latency["hits"]],
+        ["latency misses", latency["misses"]],
+        ["latency entries", latency["size"]],
+        ["profile hits", profile["hits"]],
+        ["profile misses", profile["misses"]],
+        ["backend evaluations", profile["misses"]],
+        ["profile entries", profile["size"]],
+    ]
+    return ("Cache stats", ["counter", "value"], rows)
+
+
 def _serve_command(args: argparse.Namespace) -> int:
     payload = InferenceRequest(
         model=args.model,
@@ -285,6 +316,7 @@ def _serve_command(args: argparse.Namespace) -> int:
     slo = _serving_slo(args)
     scheduler_factory = _SCHEDULERS[args.scheduler]
     runner = ExperimentRunner()
+    cost = BackendCostModel(args.backend, runner=runner)
     probe_rows = None
 
     if args.find_max_qps:
@@ -303,6 +335,7 @@ def _serve_command(args: argparse.Namespace) -> int:
             num_requests=100 if args.num_requests is None else args.num_requests,
             seed=args.seed,
             runner=runner,
+            cost=cost,
         )
         report = capacity.report
         headers, rows = report.summary_rows()
@@ -324,10 +357,9 @@ def _serve_command(args: argparse.Namespace) -> int:
         arrivals = _workload_arrivals(args, payload)
         report = simulate(
             arrivals,
-            args.backend,
+            cost,
             scheduler_factory(args),
             slo=slo,
-            runner=runner,
         )
         headers, rows = report.summary_rows()
         title = (
@@ -335,7 +367,12 @@ def _serve_command(args: argparse.Namespace) -> int:
             f"({args.workload} workload, {report.scheduler_name} scheduler)"
         )
 
-    return _emit_report(args, title, headers, rows, report, probe_rows)
+    extra_tables = []
+    if args.show_cache_stats:
+        extra_tables.append(_cache_stats_table([cost], runner))
+    return _emit_report(
+        args, title, headers, rows, report, probe_rows, extra_tables=extra_tables
+    )
 
 
 def _parse_mix(spec: str) -> List[object]:
@@ -399,6 +436,7 @@ def _fleet_command(args: argparse.Namespace) -> int:
     sharding = ShardingSpec(tensor_parallel=args.tp, pipeline_parallel=args.pp)
     scheduler_factory = lambda: _SCHEDULERS[args.scheduler](args)  # noqa: E731
     probe_rows = None
+    cost_models: List[object] = []
 
     if args.size_for_qps is not None:
         if slo is None:
@@ -412,6 +450,7 @@ def _fleet_command(args: argparse.Namespace) -> int:
                 "--size-for-qps sizes against a Poisson arrival process; "
                 f"it cannot search a {args.workload!r} workload"
             )
+        cost_cache: dict = {}
         sizing = size_fleet(
             args.backend,
             payload,
@@ -424,7 +463,9 @@ def _fleet_command(args: argparse.Namespace) -> int:
             seed=args.seed,
             max_replicas=args.max_replicas,
             runner=runner,
+            cost_cache=cost_cache,
         )
+        cost_models = list(cost_cache.values())
         report = sizing.report
         headers, rows = report.summary_rows()
         won = sizing.sharding
@@ -470,6 +511,7 @@ def _fleet_command(args: argparse.Namespace) -> int:
         )
         arrivals = _workload_arrivals(args, payload)
         report = simulate_fleet(arrivals, fleet, get_router(args.router), slo=slo)
+        cost_models = [device.cost for device in fleet]
         headers, rows = report.summary_rows()
         title = (
             f"Fleet simulation — {len(arrivals)} x {args.model} on "
@@ -477,6 +519,9 @@ def _fleet_command(args: argparse.Namespace) -> int:
         )
 
     device_headers, device_rows = report.per_device_rows()
+    extra_tables = [("Per-device breakdown", device_headers, device_rows)]
+    if args.show_cache_stats:
+        extra_tables.append(_cache_stats_table(cost_models, runner))
     return _emit_report(
         args,
         title,
@@ -484,7 +529,7 @@ def _fleet_command(args: argparse.Namespace) -> int:
         rows,
         report,
         probe_rows,
-        extra_tables=[("Per-device breakdown", device_headers, device_rows)],
+        extra_tables=extra_tables,
     )
 
 
@@ -651,6 +696,10 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--show-probes", action="store_true",
         help="print the probe trail of a capacity/sizing search",
+    )
+    parser.add_argument(
+        "--show-cache-stats", action="store_true",
+        help="print cost-model latency and backend-profile cache counters",
     )
     parser.add_argument(
         "--csv", default=None, metavar="PATH",

@@ -32,15 +32,30 @@ class Device:
         *,
         sharding: Optional[ShardingSpec] = None,
         runner: Optional[ExperimentRunner] = None,
+        cost: Optional[BackendCostModel] = None,
     ):
-        if sharding is not None and not sharding.is_trivial:
-            backend = ShardedBackend(backend, sharding)
         self.scheduler = scheduler if scheduler is not None else FCFSScheduler()
         if self.scheduler.pending:
             raise ValueError(
                 "device scheduler already has pending requests; use a fresh one"
             )
-        self.cost = BackendCostModel(backend, runner=runner)
+        spec = None if sharding is None or sharding.is_trivial else sharding
+        if cost is not None:
+            # A shared cost model (same backend + sharding) from a sibling
+            # replica: identical latencies, one set of interned caches.
+            # It must have been built under the same sharding, or the
+            # device would silently price a differently-shaped replica.
+            if getattr(cost, "_fleet_sharding", None) != spec:
+                raise ValueError(
+                    "the shared cost model was built for a different sharding; "
+                    "pass the cost of a device with the same spec (or none)"
+                )
+            self.cost = cost
+        else:
+            if spec is not None:
+                backend = ShardedBackend(backend, spec)
+            self.cost = BackendCostModel(backend, runner=runner)
+            self.cost._fleet_sharding = spec
         #: Display name of the backend, resolved on the first profile (the
         #: fleet loop resolves idle devices against the stream's first
         #: payload before reporting).
@@ -78,29 +93,45 @@ class Device:
         self.outstanding_work_s += self.job_seconds(record)
         self.scheduler.enqueue(record, now)
 
-    def maybe_start(self, now: float) -> None:
-        """Plan the next occupancy if idle; sample the queue after planning."""
+    def maybe_start(
+        self,
+        now: float,
+        horizon: Optional[float] = None,
+        max_steps: Optional[int] = None,
+    ) -> None:
+        """Plan the next occupancy if idle; sample the queue after planning.
+
+        ``horizon``/``max_steps`` pass straight to the scheduler so a
+        replica fast-forwards exactly like the single-device loop.
+        """
         if not self.idle:
             return
-        occupancy = self.scheduler.next_occupancy(now, self.cost)
+        occupancy = self.scheduler.next_occupancy(
+            now, self.cost, horizon=horizon, max_steps=max_steps
+        )
         self.queue_depth.append((now, self.scheduler.waiting))
         if occupancy is None:
             return
         if occupancy.seconds < 0:
             raise ValueError("occupancy duration must be non-negative")
-        self.busy_until = now + occupancy.seconds
+        self.busy_until = occupancy.end_time(now)
         self.busy_s += occupancy.seconds
         self._occupancy = occupancy
 
-    def complete(self, now: float) -> None:
+    def complete(self, now: float) -> List[RequestRecord]:
         """Finish the in-flight occupancy: stamp and release its records."""
-        for record in self._occupancy.completed:
+        completed = self._occupancy.completed
+        for record in completed:
             record.finish_s = now
             self.outstanding -= 1
             self.outstanding_work_s -= self.job_seconds(record)
         self.busy_until = None
         self._occupancy = None
+        return completed
 
     def finalize(self, makespan_s: float) -> None:
-        """Append the closing queue-depth sample (mirrors the single loop)."""
-        self.queue_depth.append((makespan_s, self.scheduler.waiting))
+        """Append the closing queue-depth sample (mirrors the single loop,
+        including its skip of a sample the last event already stamped)."""
+        sample = (makespan_s, self.scheduler.waiting)
+        if not self.queue_depth or self.queue_depth[-1] != sample:
+            self.queue_depth.append(sample)

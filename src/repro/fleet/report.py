@@ -45,6 +45,12 @@ class FleetReport:
     assignments: List[int]
     makespan_s: float
     slo: Optional[SLOSpec] = None
+    #: Global event-loop iterations (None when built outside the loop);
+    #: with fast-forward coalescing this is far below the step count.
+    num_events: Optional[int] = None
+    #: True when a ``fail_fast`` run aborted early because SLO attainment
+    #: could no longer reach the threshold (records are partially stamped).
+    early_exit: bool = False
 
     # -- fleet shape ---------------------------------------------------------
     @property
@@ -187,15 +193,22 @@ class FleetReport:
         return format_markdown_table(headers, rows)
 
     def to_csv(self, path: Optional[str] = None) -> str:
-        """Per-request trace with device assignment; byte-stable under a seed."""
+        """Per-request trace with device assignment; byte-stable under a seed.
+
+        Every record gets a row: requests an ``early_exit`` run never
+        routed carry a blank device cell (their timing cells are already
+        blank), matching the single-device report's complete trace.
+        """
         buffer = io.StringIO()
         writer = csv.DictWriter(
             buffer, fieldnames=FLEET_TRACE_CSV_FIELDS, lineterminator="\n"
         )
         writer.writeheader()
-        for record, device in zip(self.records, self.assignments):
+        for index, record in enumerate(self.records):
             row = trace_row(record, self.slo)
-            row["device"] = device
+            row["device"] = (
+                self.assignments[index] if index < len(self.assignments) else ""
+            )
             writer.writerow(row)
         text = buffer.getvalue()
         if path is not None:

@@ -35,8 +35,9 @@ from repro.fleet.report import FleetReport
 from repro.fleet.router import JoinShortestQueueRouter, Router
 from repro.fleet.sharding import ShardingSpec
 from repro.serving.metrics import ServingReport, SLOSpec
-from repro.serving.request import RequestRecord, ServingRequest
+from repro.serving.request import ServingRequest
 from repro.serving.scheduler import FCFSScheduler, Scheduler
+from repro.serving.simulator import _ordered_records
 
 BackendLike = Union[str, Backend]
 
@@ -47,6 +48,7 @@ def build_fleet(
     scheduler_factory=FCFSScheduler,
     sharding: Optional[ShardingSpec] = None,
     runner: Optional[ExperimentRunner] = None,
+    cost_cache: Optional[dict] = None,
 ) -> List[Device]:
     """One :class:`Device` per backend entry, all sharing ``runner``.
 
@@ -56,19 +58,31 @@ def build_fleet(
     ``sharding`` is given, the same sharding transform.  When no runner
     is passed the fleet still shares one, so N replicas of the same
     backend profile each request shape once, not N times.
+
+    Replicas of the same (backend, sharding) also share one
+    :class:`repro.serving.simulator.BackendCostModel`, so interned
+    per-shape latencies are resolved once per fleet rather than once per
+    device.  Pass a mutable ``cost_cache`` dict to extend that sharing
+    across *many* fleets (the sizing search reuses one across every
+    replica-count probe).
     """
     if not backends:
         raise ValueError("a fleet needs at least one backend")
     runner = runner if runner is not None else ExperimentRunner()
-    return [
-        Device(
+    shared = cost_cache if cost_cache is not None else {}
+    devices = []
+    for backend in backends:
+        key = (backend if isinstance(backend, str) else id(backend), sharding)
+        device = Device(
             backend,
             scheduler_factory(),
             sharding=sharding,
             runner=runner,
+            cost=shared.get(key),
         )
-        for backend in backends
-    ]
+        shared.setdefault(key, device.cost)
+        devices.append(device)
+    return devices
 
 
 def simulate_fleet(
@@ -77,9 +91,22 @@ def simulate_fleet(
     router: Optional[Router] = None,
     *,
     slo: Optional[SLOSpec] = None,
+    max_steps: Optional[int] = None,
+    fail_fast: bool = False,
 ) -> FleetReport:
-    """Run the arrival stream across the fleet and merge the timelines."""
+    """Run the arrival stream across the fleet and merge the timelines.
+
+    ``max_steps`` caps each device's fast-forward coalescing exactly as in
+    :func:`repro.serving.simulator.simulate` (None = coalesce freely,
+    1 = step-by-step; both yield byte-identical trace CSVs).  With
+    ``fail_fast`` (requires ``slo``) the loop aborts once attainment can
+    no longer reach the threshold, which makes failing sizing probes cheap.
+    """
     router = router if router is not None else JoinShortestQueueRouter()
+    if max_steps is not None and max_steps < 1:
+        raise ValueError("max_steps must be at least 1 when given")
+    if fail_fast and slo is None:
+        raise ValueError("fail_fast needs an SLOSpec to judge misses against")
     if getattr(router, "used", False):
         raise ValueError(
             "router already drove a simulation; use a fresh one "
@@ -93,20 +120,32 @@ def simulate_fleet(
         if device.records or not device.idle:
             raise ValueError("devices already carry state; build a fresh fleet")
 
-    records = [RequestRecord(request) for request in sorted(requests)]
+    records = _ordered_records(requests)
     if not records:
         raise ValueError("cannot simulate an empty request stream")
+    total = len(records)
     arrivals = deque(records)
     # Arrivals are delivered in `records` order, so appending each routed
     # index builds a list parallel to `records`.
     assignments: List[int] = []
 
     now = 0.0
+    num_events = 0
+    missed = 0
+    early_exit = False
     while True:
+        num_events += 1
         # 1. Stamp completions due now (device order is the tie-break).
         for device in devices:
             if not device.idle and device.busy_until <= now:
-                device.complete(now)
+                for record in device.complete(now):
+                    if fail_fast and not slo.met_by(record):
+                        missed += 1
+        # Attainment can no longer reach the threshold even if everything
+        # still in flight meets the SLO: the probe is decided, stop here.
+        if fail_fast and missed and (total - missed) / total < slo.min_attainment:
+            early_exit = True
+            break
         # 2. Deliver and route arrivals due now.
         while arrivals and arrivals[0].arrival_s <= now:
             record = arrivals.popleft()
@@ -122,9 +161,12 @@ def simulate_fleet(
         # A device with nothing pending and no arrivals left skips the
         # attempt — the single-device loop's exit condition, which keeps
         # its queue-depth sample stream identical for a 1-replica fleet.
+        # The horizon handed to each scheduler is the next undelivered
+        # arrival, exactly as in the single-device loop.
+        horizon = arrivals[0].arrival_s if arrivals else None
         for device in devices:
             if arrivals or device.scheduler.pending:
-                device.maybe_start(now)
+                device.maybe_start(now, horizon=horizon, max_steps=max_steps)
         # 4. Advance to the next event, or stop.
         next_times = [
             device.busy_until for device in devices if not device.idle
@@ -168,4 +210,6 @@ def simulate_fleet(
         assignments=assignments,
         makespan_s=now,
         slo=slo,
+        num_events=num_events,
+        early_exit=early_exit,
     )

@@ -74,6 +74,8 @@ def size_fleet(
     seed: int = 0,
     max_replicas: int = 64,
     runner: Optional[ExperimentRunner] = None,
+    cost_cache: Optional[dict] = None,
+    fail_fast: bool = True,
 ) -> FleetSizingResult:
     """The smallest fleet of ``backend`` replicas sustaining ``target_qps``.
 
@@ -83,6 +85,13 @@ def size_fleet(
     the configuration with the fewest base chips (``replicas x tp x pp``);
     ties go to fewer replicas (the more-sharded fleet, whose per-request
     latency is lower at the same silicon), then to the earlier candidate.
+
+    With ``fail_fast`` (default on) each failing probe's fleet simulation
+    aborts as soon as SLO attainment can no longer reach the threshold —
+    probe verdicts and the winning configuration are unchanged, the
+    doubling phase's failures just stop early.  ``cost_cache`` (a mutable
+    dict, one is created when omitted) shares per-sharding cost models
+    across every probe, so interned latencies survive fleet rebuilds.
 
     Raises :class:`ValueError` when no candidate meets the SLO within
     ``max_replicas`` replicas.
@@ -94,6 +103,7 @@ def size_fleet(
     if not shardings:
         raise ValueError("at least one sharding candidate is required")
     runner = runner if runner is not None else ExperimentRunner()
+    cost_cache = cost_cache if cost_cache is not None else {}
     arrivals = PoissonWorkload(target_qps, payload, seed=seed).generate(num_requests)
     probes: List[SizingProbe] = []
 
@@ -103,8 +113,11 @@ def size_fleet(
             scheduler_factory=scheduler_factory,
             sharding=sharding,
             runner=runner,
+            cost_cache=cost_cache,
         )
-        report = simulate_fleet(arrivals, fleet, router_factory(), slo=slo)
+        report = simulate_fleet(
+            arrivals, fleet, router_factory(), slo=slo, fail_fast=fail_fast
+        )
         probes.append(SizingProbe(replicas, sharding, report.meets_slo()))
         return report
 

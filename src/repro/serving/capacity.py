@@ -53,6 +53,8 @@ def find_max_qps(
     rel_tol: float = 0.1,
     max_probes: int = 32,
     runner: Optional[ExperimentRunner] = None,
+    cost: Optional[BackendCostModel] = None,
+    fail_fast: bool = True,
 ) -> CapacityResult:
     """Bisect for the highest Poisson arrival rate that meets ``slo``.
 
@@ -75,22 +77,32 @@ def find_max_qps(
         Stop once the failing rate is within ``(1 + rel_tol)`` of the
         passing rate.  The default 0.1 guarantees the returned rate's
         1.5x multiple sits beyond the observed failure point.
+    cost:
+        Optional pre-built :class:`BackendCostModel`; every probe shares
+        it (one is built over ``runner`` when omitted), so interned
+        latencies carry across the whole search.
+    fail_fast:
+        Abort each failing probe's simulation the moment attainment can
+        no longer reach the threshold (default on).  Probe verdicts and
+        the returned rate/report are unchanged — failing probes, half of
+        every bisection, just stop early.
     """
     if rel_tol <= 0:
         raise ValueError("rel_tol must be positive")
     if max_probes < 1:
         raise ValueError("max_probes must be at least 1")
     runner = runner if runner is not None else ExperimentRunner()
+    cost = cost if cost is not None else BackendCostModel(backend, runner=runner)
     probes: List[Tuple[float, bool]] = []
 
     def evaluate(rate_qps: float) -> ServingReport:
         workload = PoissonWorkload(rate_qps, payload, seed=seed)
         report = simulate(
             workload.generate(num_requests),
-            backend,
+            cost,
             scheduler_factory(),
             slo=slo,
-            runner=runner,
+            fail_fast=fail_fast,
         )
         probes.append((rate_qps, report.meets_slo()))
         return report
@@ -99,7 +111,7 @@ def find_max_qps(
         # Scale off the first payload of the seeded process: its solo job
         # time bounds the single-stream service rate.
         sample = PoissonWorkload(1.0, payload, seed=seed).generate(1)[0].request
-        initial_qps = 1.0 / BackendCostModel(backend, runner).total_seconds(sample)
+        initial_qps = 1.0 / cost.total_seconds(sample)
 
     # -- bracket: find a passing rate `low` and a failing rate `high` --------
     probe = initial_qps
@@ -142,6 +154,9 @@ def find_max_qps(
             )
 
     # -- bisect until the bracket is tight -----------------------------------
+    # When the bracket is already within rel_tol the loop body never runs
+    # and the bracket-phase report at `low` is returned as-is: terminating
+    # immediately costs zero extra simulations.
     while high / low > 1.0 + rel_tol and len(probes) < max_probes:
         mid = 0.5 * (low + high)
         report = evaluate(mid)

@@ -120,6 +120,13 @@ class ServingReport:
     #: (time, waiting-queue depth) samples at every event boundary.
     queue_depth: List[Tuple[float, int]]
     slo: Optional[SLOSpec] = None
+    #: Event-loop iterations the simulation processed (None when the
+    #: report was built outside the event loop); with fast-forward
+    #: coalescing this is far below the number of decode steps simulated.
+    num_events: Optional[int] = None
+    #: True when a ``fail_fast`` run aborted early because SLO attainment
+    #: could no longer reach the threshold (records are partially stamped).
+    early_exit: bool = False
 
     # -- basic counts --------------------------------------------------------
     @property

@@ -24,6 +24,23 @@ Costing uses the backend's per-phase latencies through the
 :class:`repro.serving.simulator.BackendCostModel`: ``time_to_first_token_s``
 prices a prefill occupancy and ``decode_step_seconds`` prices one decode
 step at the current batch width.
+
+Fast-forward coalescing
+-----------------------
+
+``next_occupancy`` takes an optional arrival ``horizon`` (the absolute
+time of the next arrival still in flight towards the device) and an
+optional ``max_steps`` cap.  When the batch composition provably cannot
+change before the next interesting boundary — the next in-batch
+completion, or the first step boundary at which a waiting arrival could
+be admitted — the continuous scheduler coalesces ``k`` decode steps into
+a *single* occupancy instead of ``k`` separate events.  The occupancy's
+end time is computed by adding the step duration ``k`` times (never by
+one ``k * step`` multiplication), so every record timestamp is bit-equal
+to the step-by-step loop's and the per-request trace CSV stays
+byte-identical.  ``max_steps=1`` reproduces the uncoalesced loop exactly;
+FCFS and static batching already emit whole-job occupancies, so both
+accept (and ignore) the new arguments.
 """
 
 from __future__ import annotations
@@ -50,6 +67,16 @@ class Occupancy:
     #: Records whose last token is produced when this occupancy ends; the
     #: event loop stamps their ``finish_s``.
     completed: List[RequestRecord] = field(default_factory=list)
+    #: Decode steps coalesced into this occupancy (1 = a single event).
+    steps: int = 1
+    #: Absolute end time, set by schedulers that coalesce: the step clock
+    #: accumulated from the planning time one step at a time, so the event
+    #: loop lands on exactly the same float the step-by-step loop reaches.
+    end_s: Optional[float] = None
+
+    def end_time(self, now: float) -> float:
+        """When this occupancy finishes, starting at ``now``."""
+        return self.end_s if self.end_s is not None else now + self.seconds
 
 
 class Scheduler:
@@ -75,24 +102,45 @@ class Scheduler:
         """Requests the scheduler still owes work to (waiting + in flight)."""
         return len(self._waiting)
 
-    def next_occupancy(self, now: float, cost) -> Optional[Occupancy]:
-        """Plan the next device occupancy starting at ``now`` (None = idle)."""
+    def next_occupancy(
+        self,
+        now: float,
+        cost,
+        horizon: Optional[float] = None,
+        max_steps: Optional[int] = None,
+    ) -> Optional[Occupancy]:
+        """Plan the next device occupancy starting at ``now`` (None = idle).
+
+        ``horizon`` is the absolute arrival time of the next request still
+        in flight (None when the stream is exhausted); ``max_steps`` caps
+        how many decode steps a coalescing scheduler may fast-forward in
+        one occupancy (None = unlimited, 1 = the uncoalesced loop).
+        """
         raise NotImplementedError
 
 
 class FCFSScheduler(Scheduler):
-    """First-come-first-served, one request on the device at a time."""
+    """First-come-first-served, one request on the device at a time.
+
+    A job is already one whole occupancy, so there is nothing further to
+    coalesce: ``horizon`` and ``max_steps`` are accepted and ignored.
+    """
 
     name = "fcfs"
 
-    def next_occupancy(self, now: float, cost) -> Optional[Occupancy]:
+    def next_occupancy(
+        self,
+        now: float,
+        cost,
+        horizon: Optional[float] = None,
+        max_steps: Optional[int] = None,
+    ) -> Optional[Occupancy]:
         if not self._waiting:
             return None
         record = self._waiting.popleft()
-        result = cost.profile(record.request)
         record.prefill_start_s = now
-        record.first_token_s = now + result.time_to_first_token_s
-        return Occupancy(JOB, result.total_seconds, [record])
+        record.first_token_s = now + cost.ttft(record.request)
+        return Occupancy(JOB, cost.total_seconds(record.request), [record])
 
 
 class StaticBatchScheduler(Scheduler):
@@ -102,6 +150,9 @@ class StaticBatchScheduler(Scheduler):
     bounds the phase), decodes in lockstep at the batch-wide step cost,
     and only releases when the member with the most tokens finishes —
     the classic static-batching straggler penalty.
+
+    The batch runs as one occupancy already (the maximally coalesced
+    form), so ``horizon`` and ``max_steps`` are accepted and ignored.
     """
 
     name = "static"
@@ -112,7 +163,13 @@ class StaticBatchScheduler(Scheduler):
         super().__init__()
         self.max_batch = max_batch
 
-    def next_occupancy(self, now: float, cost) -> Optional[Occupancy]:
+    def next_occupancy(
+        self,
+        now: float,
+        cost,
+        horizon: Optional[float] = None,
+        max_steps: Optional[int] = None,
+    ) -> Optional[Occupancy]:
         if not self._waiting:
             return None
         count = min(self.max_batch, len(self._waiting))
@@ -153,7 +210,13 @@ class ContinuousBatchScheduler(Scheduler):
         """Sequences currently in the decode batch."""
         return len(self._active)
 
-    def next_occupancy(self, now: float, cost) -> Optional[Occupancy]:
+    def next_occupancy(
+        self,
+        now: float,
+        cost,
+        horizon: Optional[float] = None,
+        max_steps: Optional[int] = None,
+    ) -> Optional[Occupancy]:
         # Admission first: fill free batch slots with waiting prefills so
         # new requests reach their first token as early as possible.
         if self._waiting and len(self._active) < self.max_batch:
@@ -163,18 +226,39 @@ class ContinuousBatchScheduler(Scheduler):
             record.first_token_s = now + ttft
             self._active.append([record, record.request.gen_tokens])
             return Occupancy(PREFILL, ttft)
-        if self._active:
-            lanes = sum(record.request.batch_size for record, _ in self._active)
-            step = max(
-                cost.decode_step(record.request, batch_size=lanes)
-                for record, _ in self._active
-            )
-            finished = []
-            for entry in self._active:
-                entry[1] -= 1
-                if entry[1] == 0:
-                    finished.append(entry)
-            for entry in finished:
-                self._active.remove(entry)
-            return Occupancy(DECODE, step, [entry[0] for entry in finished])
-        return None
+        if not self._active:
+            return None
+        lanes = sum(record.request.batch_size for record, _ in self._active)
+        step = max(
+            cost.decode_step(record.request, batch_size=lanes)
+            for record, _ in self._active
+        )
+        # Fast-forward: the batch composition is frozen until the next
+        # in-batch completion, so up to `limit` steps are one occupancy.
+        limit = min(entry[1] for entry in self._active)
+        if max_steps is not None and max_steps < limit:
+            limit = max_steps
+        # With a free slot, a future arrival is admissible at any step
+        # boundary: stop at the first boundary that reaches the horizon
+        # (with a full batch, arrivals can only queue — no cap needed).
+        admission_open = horizon is not None and len(self._active) < self.max_batch
+        # Accumulate the boundaries one step at a time: `end` walks the
+        # exact float sequence the uncoalesced loop would produce.
+        steps, end = 1, now + step
+        while steps < limit and not (admission_open and end >= horizon):
+            steps += 1
+            end += step
+        finished = []
+        for entry in self._active:
+            entry[1] -= steps
+            if entry[1] == 0:
+                finished.append(entry)
+        for entry in finished:
+            self._active.remove(entry)
+        return Occupancy(
+            DECODE,
+            step if steps == 1 else end - now,
+            [entry[0] for entry in finished],
+            steps=steps,
+            end_s=end,
+        )

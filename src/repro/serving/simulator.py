@@ -13,13 +13,36 @@ each distinct request shape once through a memoizing
 :class:`repro.api.runner.ExperimentRunner` and serves every simulated
 occupancy from that cache, so a 10 000-request simulation typically costs
 only a handful of backend evaluations (one per distinct shape x batch
-width).
+width).  On top of the profile cache it interns every scalar latency per
+*payload object identity*, so the event loop's inner per-step queries are
+plain dict lookups that never re-hash an :class:`InferenceRequest`.
+
+Fast-forward coalescing (the invariant)
+---------------------------------------
+
+The loop passes the next arrival time (the *horizon*) to the scheduler,
+which may answer with a single occupancy covering ``k`` decode steps
+instead of ``k`` one-step occupancies.  This is an equivalence, not an
+approximation, because nothing observable can happen strictly inside the
+coalesced interval: the batch composition is frozen until the next
+in-batch completion, and any admission opportunity created by an arrival
+is aligned to a step boundary the scheduler refuses to coalesce past.
+Coalescing schedulers accumulate the interval's end one step-duration at
+a time (never as one ``k * step`` product), so the clock visits exactly
+the same floats as the step-by-step loop and the per-request trace CSV is
+byte-identical between ``max_steps=None`` (coalesced, the default) and
+``max_steps=1`` (uncoalesced) runs.  Queue-depth sampling stays
+per-event-boundary: every per-request stamp (and hence every CSV cell and
+SLO metric) is exact, while the (time, depth) sample stream is simply
+resolved at occupancy granularity — arrivals that queue behind a full
+batch are enqueued when the clock reaches the interval's end, which is
+also the first moment the uncoalesced loop could have *acted* on them.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Optional, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.api.backend import Backend
 from repro.api.request import InferenceRequest
@@ -31,6 +54,9 @@ from repro.serving.scheduler import FCFSScheduler, Scheduler
 
 BackendLike = Union[str, Backend]
 
+#: Cache-miss sentinel distinguishing "absent" from a legitimate 0.0 latency.
+_MISSING = object()
+
 
 class BackendCostModel:
     """Per-phase latency oracle over one backend, memoized across queries."""
@@ -40,6 +66,15 @@ class BackendCostModel:
         self._runner = runner if runner is not None else ExperimentRunner()
         #: (request, batch width, field) -> seconds; see :meth:`_latency`.
         self._latency_cache: dict = {}
+        #: id(request) -> (request, {(batch width, field) -> seconds}).
+        #: Workloads reuse payload objects, so the hot path resolves a
+        #: latency by object identity without hashing the dataclass; the
+        #: stored request reference keeps the id stable for the cache's
+        #: lifetime.  Equal-but-distinct payloads still share results
+        #: through ``_latency_cache``.
+        self._interned: Dict[int, Tuple[InferenceRequest, dict]] = {}
+        self._hits = 0
+        self._misses = 0
 
     @property
     def backend_name(self) -> str:
@@ -52,16 +87,27 @@ class BackendCostModel:
     ) -> float:
         """One scalar latency, memoized locally so the event loop's inner
         per-step queries skip the request rebuild and the runner's lock."""
-        key = (
-            request,
-            batch_size if batch_size is not None else request.batch_size,
-            field,
-        )
-        cached = self._latency_cache.get(key)
-        if cached is None:
-            cached = getattr(self.profile(request, batch_size), field)
-            self._latency_cache[key] = cached
-        return cached
+        batch = batch_size if batch_size is not None else request.batch_size
+        entry = self._interned.get(id(request))
+        if entry is None or entry[0] is not request:
+            entry = (request, {})
+            self._interned[id(request)] = entry
+        table = entry[1]
+        slot = (batch, field)
+        value = table.get(slot, _MISSING)
+        if value is not _MISSING:
+            self._hits += 1
+            return value
+        key = (request, batch, field)
+        value = self._latency_cache.get(key, _MISSING)
+        if value is _MISSING:
+            self._misses += 1
+            value = getattr(self.profile(request, batch_size), field)
+            self._latency_cache[key] = value
+        else:
+            self._hits += 1
+        table[slot] = value
+        return value
 
     def profile(
         self, request: InferenceRequest, batch_size: Optional[int] = None
@@ -98,14 +144,61 @@ class BackendCostModel:
         """The whole job run alone: prefill plus every decode step."""
         return self._latency(request, None, "total_seconds")
 
+    def cache_info(self) -> Dict[str, int]:
+        """Latency-lookup and backend-profile cache counters.
+
+        ``latency_*`` counts this model's scalar lookups (a miss is a
+        lookup that had to consult :meth:`profile`); ``profile_*`` is the
+        shared :class:`ExperimentRunner`'s view, which spans every cost
+        model attached to that runner.
+        """
+        profile = self._runner.cache_info()
+        return {
+            "latency_hits": self._hits,
+            "latency_misses": self._misses,
+            "latency_size": len(self._latency_cache),
+            "profile_hits": profile["hits"],
+            "profile_misses": profile["misses"],
+            "profile_size": profile["size"],
+        }
+
+
+#: What ``simulate`` accepts as the device model: a registered backend
+#: name, a backend object, or an already-built (possibly shared) cost model.
+CostLike = Union[BackendLike, BackendCostModel]
+
+
+def _is_sorted(requests: Sequence[ServingRequest]) -> bool:
+    """Whether the stream is already in (arrival time, request id) order."""
+    for index in range(len(requests) - 1):
+        if requests[index + 1] < requests[index]:
+            return False
+    return True
+
+
+def _ordered_records(requests: Iterable[ServingRequest]) -> List[RequestRecord]:
+    """Records in arrival order, skipping the sort for pre-sorted lists.
+
+    Workload generators and trace replays already emit sorted lists, so
+    the common case is a single O(n) monotonicity scan; anything else
+    (unsorted lists, generators) keeps the defensive sort.
+    """
+    if isinstance(requests, list) and _is_sorted(requests):
+        ordered = requests
+    else:
+        ordered = sorted(requests)
+    return [RequestRecord(request) for request in ordered]
+
 
 def simulate(
     requests: Iterable[ServingRequest],
-    backend: BackendLike,
+    backend: CostLike,
     scheduler: Optional[Scheduler] = None,
     *,
     slo: Optional[SLOSpec] = None,
     runner: Optional[ExperimentRunner] = None,
+    max_steps: Optional[int] = None,
+    fail_fast: bool = False,
 ) -> ServingReport:
     """Run the arrival stream to completion and return the report.
 
@@ -119,29 +212,54 @@ def simulate(
     * the queue depth is sampled at every event boundary, giving the
       exact step function of waiting requests over time.
 
-    ``scheduler`` defaults to a fresh :class:`FCFSScheduler`.  Pass a
-    shared ``runner`` to reuse backend profiles across many simulations
-    (the capacity search does this across its whole bisection).
+    ``scheduler`` defaults to a fresh :class:`FCFSScheduler`.  ``backend``
+    may be a pre-built :class:`BackendCostModel` to share latency caches
+    across runs; otherwise pass a shared ``runner`` to reuse backend
+    profiles (the capacity search does both across its whole bisection).
+
+    ``max_steps`` caps fast-forward coalescing per occupancy (None, the
+    default, lets schedulers coalesce freely; 1 forces the step-by-step
+    loop — see the module docstring for why both produce byte-identical
+    traces).  With ``fail_fast`` (requires ``slo``) the loop aborts as
+    soon as enough requests have definitively missed the SLO that
+    attainment can no longer reach ``slo.min_attainment``; the returned
+    report then carries partially-stamped records, still fails
+    :meth:`ServingReport.meets_slo`, and sets ``early_exit``.
     """
     scheduler = scheduler if scheduler is not None else FCFSScheduler()
     if scheduler.pending:
         raise ValueError("scheduler already has pending requests; use a fresh one")
-    cost = BackendCostModel(backend, runner=runner)
+    if max_steps is not None and max_steps < 1:
+        raise ValueError("max_steps must be at least 1 when given")
+    if fail_fast and slo is None:
+        raise ValueError("fail_fast needs an SLOSpec to judge misses against")
+    if isinstance(backend, BackendCostModel):
+        cost = backend
+    else:
+        cost = BackendCostModel(backend, runner=runner)
 
-    records = [RequestRecord(request) for request in sorted(requests)]
+    records = _ordered_records(requests)
     if not records:
         raise ValueError("cannot simulate an empty request stream")
+    total = len(records)
     arrivals = deque(records)
     # Resolve the display name (and fail fast on an OOM payload) up front.
     backend_name = cost.profile(records[0].request).backend_name
 
     now = 0.0
     busy = 0.0
-    queue_depth = []
+    num_events = 0
+    missed = 0
+    early_exit = False
+    queue_depth: List[Tuple[float, int]] = []
     while arrivals or scheduler.pending:
+        num_events += 1
         while arrivals and arrivals[0].arrival_s <= now:
             scheduler.enqueue(arrivals.popleft(), now)
-        occupancy = scheduler.next_occupancy(now, cost)
+        horizon = arrivals[0].arrival_s if arrivals else None
+        occupancy = scheduler.next_occupancy(
+            now, cost, horizon=horizon, max_steps=max_steps
+        )
         # Sample *after* planning, so a request just placed on the device
         # no longer counts as waiting during the occupancy it started.
         queue_depth.append((now, scheduler.waiting))
@@ -157,11 +275,21 @@ def simulate(
             continue
         if occupancy.seconds < 0:
             raise ValueError("occupancy duration must be non-negative")
-        now += occupancy.seconds
+        now = occupancy.end_time(now)
         busy += occupancy.seconds
         for record in occupancy.completed:
             record.finish_s = now
-    queue_depth.append((now, scheduler.waiting))
+            if fail_fast and not slo.met_by(record):
+                missed += 1
+        # Even if every not-yet-judged request met the SLO, attainment
+        # could not reach the threshold: stop burning events on a probe
+        # that is already decided (the report still reports the failure).
+        if fail_fast and missed and (total - missed) / total < slo.min_attainment:
+            early_exit = True
+            break
+    sample = (now, scheduler.waiting)
+    if not queue_depth or queue_depth[-1] != sample:
+        queue_depth.append(sample)
 
     return ServingReport(
         backend_name=backend_name,
@@ -171,4 +299,6 @@ def simulate(
         busy_s=busy,
         queue_depth=queue_depth,
         slo=slo,
+        num_events=num_events,
+        early_exit=early_exit,
     )

@@ -111,3 +111,20 @@ def test_fleet_size_for_qps_rejects_num_devices():
 def test_fleet_show_probes_requires_a_sizing_search():
     with pytest.raises(SystemExit, match="--size-for-qps"):
         main(_BASE + ["--num-devices", "2", "--show-probes"])
+
+
+def test_fleet_show_cache_stats_prints_counters(capsys):
+    assert main(_BASE + ["--num-devices", "3", "--show-cache-stats"]) == 0
+    output = capsys.readouterr().out
+    assert "Cache stats" in output
+    # Three replicas of one backend share a single cost model.
+    assert "cost models" in output
+    assert "latency hits" in output
+
+
+def test_fleet_sizing_show_cache_stats_covers_the_probes(capsys):
+    assert main(_BASE + ["--size-for-qps", "0.2", "--slo-e2e", "600",
+                         "--max-replicas", "8", "--show-cache-stats"]) == 0
+    output = capsys.readouterr().out
+    assert "replicas needed" in output
+    assert "Cache stats" in output

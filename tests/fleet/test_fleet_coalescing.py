@@ -1,0 +1,214 @@
+"""Fleet-side coalescing battery: byte identity across schedulers/routers.
+
+The fleet event loop coalesces per device against the merged clock; the
+acceptance criterion is the same as for the single-device loop — the
+trace CSV (which also pins the device assignment) must be byte-identical
+between the default run and a ``max_steps=1`` reference.
+"""
+
+import random
+
+import pytest
+
+from serving_toys import ToyBackend
+
+from repro.api import InferenceRequest
+from repro.fleet import ROUTERS, build_fleet, get_router, simulate_fleet
+from repro.serving import (
+    ContinuousBatchScheduler,
+    FCFSScheduler,
+    OnOffWorkload,
+    PoissonWorkload,
+    SLOSpec,
+    StaticBatchScheduler,
+    load_bundled_trace,
+)
+
+PAYLOAD = InferenceRequest(model="opt-6.7b", seq_len=500, gen_tokens=24)
+
+
+def _mixed_payload(rng: random.Random, index: int) -> InferenceRequest:
+    return PAYLOAD.with_overrides(gen_tokens=rng.choice([1, 7, 24, 64]))
+
+
+SCHEDULERS = {
+    "fcfs": FCFSScheduler,
+    "static": lambda: StaticBatchScheduler(max_batch=4),
+    "continuous": lambda: ContinuousBatchScheduler(max_batch=4),
+}
+
+WORKLOADS = {
+    "poisson": lambda: PoissonWorkload(6.0, _mixed_payload, seed=11).generate(150),
+    "onoff": lambda: OnOffWorkload(
+        16.0, _mixed_payload, on_seconds=2.0, off_seconds=3.0, seed=5
+    ).generate(150),
+    "diurnal": lambda: load_bundled_trace("diurnal").generate(150),
+}
+
+
+def _run(arrivals, scheduler_factory, router_name, max_steps):
+    fleet = build_fleet(
+        [ToyBackend(ttft=1.0, step=0.1)] * 4, scheduler_factory=scheduler_factory
+    )
+    return simulate_fleet(
+        arrivals,
+        fleet,
+        get_router(router_name),
+        slo=SLOSpec(ttft_s=10.0, e2e_s=60.0),
+        max_steps=max_steps,
+    )
+
+
+@pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_coalesced_fleet_is_byte_identical_to_step_by_step(
+    scheduler_name, workload_name
+):
+    arrivals = WORKLOADS[workload_name]()
+    factory = SCHEDULERS[scheduler_name]
+    reference = _run(arrivals, factory, "jsq", max_steps=1)
+    coalesced = _run(arrivals, factory, "jsq", max_steps=None)
+    assert coalesced.to_csv() == reference.to_csv()
+    assert coalesced.makespan_s == reference.makespan_s
+    assert [r.busy_s for r in coalesced.device_reports] == pytest.approx(
+        [r.busy_s for r in reference.device_reports]
+    )
+
+
+@pytest.mark.parametrize("router_name", sorted(ROUTERS))
+def test_every_router_is_byte_identical_under_coalescing(router_name):
+    arrivals = WORKLOADS["poisson"]()
+    factory = SCHEDULERS["continuous"]
+    reference = _run(arrivals, factory, router_name, max_steps=1)
+    coalesced = _run(arrivals, factory, router_name, max_steps=None)
+    assert coalesced.to_csv() == reference.to_csv()
+
+
+def test_fleet_coalescing_collapses_the_event_count():
+    payload = PAYLOAD.with_overrides(gen_tokens=256)
+    arrivals = PoissonWorkload(2.0, payload, seed=0).generate(200)
+    factory = lambda: ContinuousBatchScheduler(max_batch=8)  # noqa: E731
+    reference = _run(arrivals, factory, "jsq", max_steps=1)
+    coalesced = _run(arrivals, factory, "jsq", max_steps=None)
+    assert coalesced.to_csv() == reference.to_csv()
+    assert coalesced.num_events * 5 < reference.num_events
+
+
+def test_fleet_fail_fast_aborts_with_the_same_verdict():
+    slo = SLOSpec(e2e_s=2.0, min_attainment=0.9)
+    arrivals = PoissonWorkload(80.0, PAYLOAD, seed=2).generate(300)
+
+    def run(fail_fast):
+        fleet = build_fleet([ToyBackend()] * 2)
+        return simulate_fleet(
+            arrivals, fleet, get_router("jsq"), slo=slo, fail_fast=fail_fast
+        )
+
+    full, fast = run(False), run(True)
+    assert not full.meets_slo() and not fast.meets_slo()
+    assert fast.early_exit and not full.early_exit
+    assert fast.num_events < full.num_events
+
+
+def test_fleet_fail_fast_trace_csv_still_covers_every_record():
+    """An aborted run's trace keeps one row per request; the ones never
+    routed carry a blank device cell instead of being dropped."""
+    slo = SLOSpec(e2e_s=2.0, min_attainment=0.9)
+    # Moderately overloaded: misses accrue while arrivals are still in
+    # flight, so the abort leaves part of the stream unrouted.
+    arrivals = PoissonWorkload(4.0, PAYLOAD, seed=2).generate(300)
+    fleet = build_fleet([ToyBackend()] * 2)
+    report = simulate_fleet(
+        arrivals, fleet, get_router("jsq"), slo=slo, fail_fast=True
+    )
+    assert report.early_exit
+    lines = report.to_csv().splitlines()
+    assert len(lines) == 1 + report.num_requests
+    unrouted = report.num_requests - len(report.assignments)
+    assert unrouted > 0
+    assert sum(1 for line in lines[1:] if line.split(",")[1] == "") == unrouted
+
+
+def test_device_rejects_a_cost_model_built_for_another_sharding():
+    from repro.fleet import Device, ShardingSpec
+
+    backend = ToyBackend()
+    plain = Device(backend)
+    with pytest.raises(ValueError, match="different sharding"):
+        Device(backend, sharding=ShardingSpec(tensor_parallel=2), cost=plain.cost)
+    sharded = Device(backend, sharding=ShardingSpec(tensor_parallel=2))
+    with pytest.raises(ValueError, match="different sharding"):
+        Device(backend, cost=sharded.cost)
+    # Matching specs still share.
+    twin = Device(backend, sharding=ShardingSpec(tensor_parallel=2), cost=sharded.cost)
+    assert twin.cost is sharded.cost
+
+
+def test_sharded_build_fleet_still_shares_cost_models():
+    from repro.fleet import ShardingSpec
+
+    fleet = build_fleet(
+        [ToyBackend()] * 4, sharding=ShardingSpec(tensor_parallel=2)
+    )
+    assert len({id(device.cost) for device in fleet}) == 1
+
+
+def test_fleet_fail_fast_requires_an_slo():
+    with pytest.raises(ValueError, match="fail_fast"):
+        simulate_fleet(
+            PoissonWorkload(1.0, PAYLOAD, seed=0).generate(2),
+            build_fleet([ToyBackend()]),
+            fail_fast=True,
+        )
+
+
+def test_fleet_max_steps_must_be_positive():
+    with pytest.raises(ValueError, match="max_steps"):
+        simulate_fleet(
+            PoissonWorkload(1.0, PAYLOAD, seed=0).generate(2),
+            build_fleet([ToyBackend()]),
+            max_steps=0,
+        )
+
+
+# -- cost-model sharing -------------------------------------------------------
+
+def test_replicas_of_one_backend_share_one_cost_model():
+    backend = ToyBackend()
+    fleet = build_fleet([backend] * 8)
+    assert len({id(device.cost) for device in fleet}) == 1
+
+
+def test_distinct_backends_do_not_share_cost_models():
+    fleet = build_fleet([ToyBackend(), ToyBackend(step=0.5)])
+    assert len({id(device.cost) for device in fleet}) == 2
+
+
+def test_cost_cache_extends_sharing_across_fleets():
+    backend = ToyBackend()
+    cache = {}
+    first = build_fleet([backend] * 2, cost_cache=cache)
+    second = build_fleet([backend] * 4, cost_cache=cache)
+    assert first[0].cost is second[0].cost
+
+
+def test_size_fleet_fail_fast_finds_the_same_fleet():
+    from repro.fleet import size_fleet
+
+    payload = PAYLOAD.with_overrides(gen_tokens=10)
+    slo = SLOSpec(e2e_s=10.0, min_attainment=0.9)
+    kwargs = dict(
+        backend=ToyBackend(ttft=0.5, step=0.1),
+        payload=payload,
+        slo=slo,
+        target_qps=2.0,
+        num_requests=120,
+        seed=4,
+    )
+    full = size_fleet(fail_fast=False, **kwargs)
+    fast = size_fleet(fail_fast=True, **kwargs)
+    assert fast.num_replicas == full.num_replicas
+    assert fast.sharding == full.sharding
+    assert fast.probes == full.probes
+    assert fast.report.to_csv() == full.report.to_csv()
+    assert not fast.report.early_exit  # the winning fleet ran to completion

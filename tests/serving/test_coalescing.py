@@ -1,0 +1,237 @@
+"""Fast-forward coalescing: equivalence battery and event-count wins.
+
+The acceptance criterion for the coalesced event loop is *byte identity*:
+for every scheduler and workload shape, the default run (`max_steps=None`)
+must produce exactly the per-request trace CSV of the step-by-step
+reference (`max_steps=1`) — same floats, same bytes.  These tests sweep
+scheduler x workload for the single-device loop; the fleet-side battery
+(including every router) lives in ``tests/fleet/test_fleet_coalescing.py``.
+"""
+
+import random
+
+import pytest
+
+from serving_toys import ToyBackend
+
+from repro.api import InferenceRequest
+from repro.serving import (
+    ContinuousBatchScheduler,
+    FCFSScheduler,
+    Occupancy,
+    OnOffWorkload,
+    PoissonWorkload,
+    SLOSpec,
+    StaticBatchScheduler,
+    load_bundled_trace,
+    simulate,
+)
+from repro.serving.simulator import _is_sorted
+
+PAYLOAD = InferenceRequest(model="opt-6.7b", seq_len=500, gen_tokens=24)
+
+
+def _mixed_payload(rng: random.Random, index: int) -> InferenceRequest:
+    """Heterogeneous generation lengths, so in-batch completions stagger."""
+    return PAYLOAD.with_overrides(gen_tokens=rng.choice([1, 7, 24, 64]))
+
+
+SCHEDULERS = {
+    "fcfs": FCFSScheduler,
+    "static": lambda: StaticBatchScheduler(max_batch=4),
+    "continuous": lambda: ContinuousBatchScheduler(max_batch=4),
+}
+
+WORKLOADS = {
+    "poisson": lambda: PoissonWorkload(3.0, _mixed_payload, seed=11).generate(150),
+    "onoff": lambda: OnOffWorkload(
+        8.0, _mixed_payload, on_seconds=2.0, off_seconds=3.0, seed=5
+    ).generate(150),
+    "diurnal": lambda: load_bundled_trace("diurnal").generate(150),
+}
+
+
+@pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_coalesced_run_is_byte_identical_to_step_by_step(
+    scheduler_name, workload_name
+):
+    arrivals = WORKLOADS[workload_name]()
+    slo = SLOSpec(ttft_s=10.0, e2e_s=60.0)
+    reference = simulate(
+        arrivals, ToyBackend(), SCHEDULERS[scheduler_name](), slo=slo, max_steps=1
+    )
+    coalesced = simulate(
+        arrivals, ToyBackend(), SCHEDULERS[scheduler_name](), slo=slo
+    )
+    assert coalesced.to_csv() == reference.to_csv()
+    assert coalesced.makespan_s == reference.makespan_s
+    assert coalesced.busy_s == pytest.approx(reference.busy_s)
+
+
+def test_coalescing_collapses_the_continuous_event_count():
+    """The tentpole: long generations become a handful of occupancies."""
+    payload = PAYLOAD.with_overrides(gen_tokens=256)
+    arrivals = PoissonWorkload(1.0, payload, seed=0).generate(200)
+    reference = simulate(
+        arrivals, ToyBackend(), ContinuousBatchScheduler(max_batch=8), max_steps=1
+    )
+    coalesced = simulate(arrivals, ToyBackend(), ContinuousBatchScheduler(max_batch=8))
+    assert coalesced.to_csv() == reference.to_csv()
+    assert coalesced.num_events * 5 < reference.num_events
+
+
+def test_intermediate_max_steps_is_also_equivalent():
+    arrivals = PoissonWorkload(2.0, _mixed_payload, seed=9).generate(120)
+    runs = [
+        simulate(
+            arrivals,
+            ToyBackend(),
+            ContinuousBatchScheduler(max_batch=4),
+            max_steps=max_steps,
+        )
+        for max_steps in (1, 3, None)
+    ]
+    assert runs[0].to_csv() == runs[1].to_csv() == runs[2].to_csv()
+
+
+def test_max_steps_must_be_positive():
+    with pytest.raises(ValueError, match="max_steps"):
+        simulate(
+            PoissonWorkload(1.0, PAYLOAD, seed=0).generate(2),
+            ToyBackend(),
+            ContinuousBatchScheduler(),
+            max_steps=0,
+        )
+
+
+def test_coalesced_occupancy_reports_its_steps():
+    """A lone long request decodes as one multi-step occupancy."""
+    scheduler = ContinuousBatchScheduler(max_batch=4)
+    backend = ToyBackend(ttft=1.0, step=0.1)
+    from repro.serving import BackendCostModel, ServingRequest
+    from repro.serving.request import RequestRecord
+
+    cost = BackendCostModel(backend)
+    record = RequestRecord(
+        ServingRequest(arrival_s=0.0, request_id=0, request=PAYLOAD)
+    )
+    scheduler.enqueue(record, 0.0)
+    prefill = scheduler.next_occupancy(0.0, cost, horizon=None)
+    assert prefill.kind == "prefill" and prefill.steps == 1
+    decode = scheduler.next_occupancy(1.0, cost, horizon=None)
+    assert decode.kind == "decode"
+    assert decode.steps == PAYLOAD.gen_tokens
+    assert decode.completed == [record]
+    # The end is the step clock accumulated one step at a time.
+    end = 1.0
+    for _ in range(PAYLOAD.gen_tokens):
+        end += 0.1
+    assert decode.end_s == end
+    assert decode.end_time(1.0) == end
+
+
+def test_decode_stops_at_the_first_boundary_reaching_the_horizon():
+    """With a free slot, coalescing never fast-forwards past an arrival's
+    admission boundary (here: arrival at 1.25 -> stop at the 1.3 boundary)."""
+    scheduler = ContinuousBatchScheduler(max_batch=4)
+    backend = ToyBackend(ttft=1.0, step=0.1)
+    from repro.serving import BackendCostModel, ServingRequest
+    from repro.serving.request import RequestRecord
+
+    cost = BackendCostModel(backend)
+    record = RequestRecord(
+        ServingRequest(arrival_s=0.0, request_id=0, request=PAYLOAD)
+    )
+    scheduler.enqueue(record, 0.0)
+    scheduler.next_occupancy(0.0, cost)  # prefill
+    decode = scheduler.next_occupancy(1.0, cost, horizon=1.25)
+    assert decode.steps == 3  # boundaries 1.1, 1.2, 1.3 >= 1.25
+    assert decode.completed == []
+
+
+def test_occupancy_default_end_time_matches_seconds():
+    occupancy = Occupancy("job", 2.5)
+    assert occupancy.steps == 1
+    assert occupancy.end_time(1.0) == 3.5
+
+
+# -- sorted fast path ---------------------------------------------------------
+
+def test_is_sorted_detects_order():
+    sorted_arrivals = PoissonWorkload(2.0, PAYLOAD, seed=1).generate(20)
+    assert _is_sorted(sorted_arrivals)
+    assert _is_sorted(sorted_arrivals[:1])
+    assert _is_sorted([])
+    shuffled = list(reversed(sorted_arrivals))
+    assert not _is_sorted(shuffled)
+
+
+def test_simulate_accepts_presorted_unsorted_and_generator_streams():
+    arrivals = PoissonWorkload(2.0, PAYLOAD, seed=1).generate(50)
+    shuffled = list(arrivals)
+    random.Random(3).shuffle(shuffled)
+    from_sorted = simulate(arrivals, ToyBackend(), FCFSScheduler())
+    from_shuffled = simulate(shuffled, ToyBackend(), FCFSScheduler())
+    from_generator = simulate(iter(arrivals), ToyBackend(), FCFSScheduler())
+    assert from_sorted.to_csv() == from_shuffled.to_csv() == from_generator.to_csv()
+    # The fast path must not reorder or mutate the caller's list.
+    assert arrivals == PoissonWorkload(2.0, PAYLOAD, seed=1).generate(50)
+
+
+def test_presorted_list_skips_the_sort(monkeypatch):
+    import repro.serving.simulator as simulator_module
+
+    def forbidden(*args, **kwargs):  # pragma: no cover - fails the test
+        raise AssertionError("sorted() called for a pre-sorted list")
+
+    monkeypatch.setattr(simulator_module, "sorted", forbidden, raising=False)
+    arrivals = PoissonWorkload(2.0, PAYLOAD, seed=1).generate(30)
+    report = simulate(arrivals, ToyBackend(), FCFSScheduler())
+    assert report.num_completed == 30
+
+
+# -- queue-depth sampling -----------------------------------------------------
+
+def test_no_duplicate_final_queue_depth_sample():
+    for scheduler in (FCFSScheduler(), ContinuousBatchScheduler(max_batch=2)):
+        report = simulate(
+            PoissonWorkload(2.0, PAYLOAD, seed=4).generate(40), ToyBackend(), scheduler
+        )
+        assert report.queue_depth[-1] != report.queue_depth[-2]
+        assert report.queue_depth[-1][0] == report.makespan_s
+
+
+# -- early exit (fail_fast) ---------------------------------------------------
+
+def test_fail_fast_aborts_hopeless_runs_with_the_same_verdict():
+    """An overloaded run fails the SLO either way; fail_fast just stops
+    processing events once the failure is mathematically decided."""
+    slo = SLOSpec(e2e_s=2.0, min_attainment=0.9)
+    arrivals = PoissonWorkload(50.0, PAYLOAD, seed=2).generate(300)
+    full = simulate(arrivals, ToyBackend(), FCFSScheduler(), slo=slo)
+    fast = simulate(arrivals, ToyBackend(), FCFSScheduler(), slo=slo, fail_fast=True)
+    assert not full.meets_slo() and not fast.meets_slo()
+    assert fast.early_exit and not full.early_exit
+    assert fast.num_events < full.num_events
+    assert fast.num_completed < fast.num_requests
+
+
+def test_fail_fast_leaves_passing_runs_untouched():
+    slo = SLOSpec(e2e_s=1e6)
+    arrivals = PoissonWorkload(0.5, PAYLOAD, seed=2).generate(50)
+    full = simulate(arrivals, ToyBackend(), FCFSScheduler(), slo=slo)
+    fast = simulate(arrivals, ToyBackend(), FCFSScheduler(), slo=slo, fail_fast=True)
+    assert fast.meets_slo() and not fast.early_exit
+    assert fast.to_csv() == full.to_csv()
+    assert fast.num_events == full.num_events
+
+
+def test_fail_fast_requires_an_slo():
+    with pytest.raises(ValueError, match="fail_fast"):
+        simulate(
+            PoissonWorkload(1.0, PAYLOAD, seed=0).generate(2),
+            ToyBackend(),
+            FCFSScheduler(),
+            fail_fast=True,
+        )

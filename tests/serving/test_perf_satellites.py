@@ -1,0 +1,122 @@
+"""Satellites of the perf PR: cache counters and cheap capacity probes."""
+
+import pytest
+
+from serving_toys import ToyBackend
+
+from repro.api import ExperimentRunner, InferenceRequest
+from repro.serving import (
+    BackendCostModel,
+    FCFSScheduler,
+    PoissonWorkload,
+    SLOSpec,
+    find_max_qps,
+    simulate,
+)
+
+PAYLOAD = InferenceRequest(model="opt-6.7b", seq_len=500, gen_tokens=10)
+SLO = SLOSpec(e2e_s=10.0, min_attainment=0.9)
+
+
+# -- BackendCostModel.cache_info ----------------------------------------------
+
+def test_cost_model_cache_info_counts_latency_and_profile_traffic():
+    backend = ToyBackend()
+    cost = BackendCostModel(backend)
+    info = cost.cache_info()
+    assert info["latency_hits"] == info["latency_misses"] == 0
+    cost.ttft(PAYLOAD)
+    cost.ttft(PAYLOAD)
+    cost.decode_step(PAYLOAD, batch_size=4)
+    info = cost.cache_info()
+    assert info["latency_misses"] == 2
+    assert info["latency_hits"] == 1
+    assert info["latency_size"] == 2
+    assert info["profile_misses"] == backend.calls == 2
+    assert info["profile_size"] == 2
+
+
+def test_cost_model_interns_identical_payload_objects():
+    """Repeated queries on one payload object are pure dict hits."""
+    cost = BackendCostModel(ToyBackend())
+    for _ in range(50):
+        cost.decode_step(PAYLOAD, batch_size=2)
+    info = cost.cache_info()
+    assert info["latency_misses"] == 1
+    assert info["latency_hits"] == 49
+
+
+def test_cost_model_shares_results_across_equal_but_distinct_payloads():
+    """An equal payload built separately reuses the keyed cache (one
+    profile), it just pays one extra keyed lookup."""
+    backend = ToyBackend()
+    cost = BackendCostModel(backend)
+    twin = InferenceRequest(model="opt-6.7b", seq_len=500, gen_tokens=10)
+    assert twin == PAYLOAD and twin is not PAYLOAD
+    assert cost.ttft(PAYLOAD) == cost.ttft(twin)
+    assert backend.calls == 1
+    assert cost.cache_info()["latency_misses"] == 1
+
+
+def test_runner_stats_matches_cache_info_plus_in_flight():
+    runner = ExperimentRunner()
+    runner.run(ToyBackend(), PAYLOAD)
+    stats = runner.stats()
+    assert stats["misses"] == 1 and stats["size"] == 1
+    assert stats["in_flight"] == 0
+    assert {k: stats[k] for k in ("hits", "misses", "size")} == runner.cache_info()
+
+
+def test_simulate_accepts_a_prebuilt_cost_model():
+    cost = BackendCostModel(ToyBackend())
+    arrivals = PoissonWorkload(1.0, PAYLOAD, seed=0).generate(20)
+    a = simulate(arrivals, cost, FCFSScheduler())
+    b = simulate(arrivals, cost, FCFSScheduler())
+    assert a.to_csv() == b.to_csv()
+    # The second run resolved every latency from the shared caches.
+    assert cost.cache_info()["profile_misses"] == 1
+
+
+# -- find_max_qps satellites --------------------------------------------------
+
+def test_default_capacity_search_stays_within_a_small_eval_budget():
+    """Regression: the whole default search costs O(1) backend evaluations
+    (memoization makes probes shape-bound, not request-bound)."""
+    backend = ToyBackend(ttft=0.5, step=0.1)
+    capacity = find_max_qps(backend, PAYLOAD, SLO, num_requests=200, seed=3)
+    assert len(capacity.probes) >= 3
+    assert backend.calls <= 2
+
+
+def test_immediate_bisection_termination_reuses_the_bracket_report():
+    """A huge rel_tol ends the search right after bracketing: exactly the
+    bracket's two probes, no re-simulation of the returned rate."""
+    backend = ToyBackend(ttft=0.5, step=0.1)
+    capacity = find_max_qps(
+        backend, PAYLOAD, SLO, num_requests=100, seed=3, rel_tol=10.0
+    )
+    assert len(capacity.probes) == 2
+    assert [met for _, met in capacity.probes] == [True, False]
+    assert capacity.max_qps == capacity.probes[0][0]
+    assert capacity.report.meets_slo()
+
+
+def test_fail_fast_search_finds_the_same_rate_as_the_full_search():
+    kwargs = dict(num_requests=150, seed=7)
+    full = find_max_qps(ToyBackend(), PAYLOAD, SLO, fail_fast=False, **kwargs)
+    fast = find_max_qps(ToyBackend(), PAYLOAD, SLO, fail_fast=True, **kwargs)
+    assert fast.max_qps == full.max_qps
+    assert fast.probes == full.probes
+    assert fast.report.to_csv() == full.report.to_csv()
+    assert not fast.report.early_exit  # the winning probe ran to completion
+
+
+def test_search_shares_one_cost_model_across_probes():
+    cost = BackendCostModel(ToyBackend(ttft=0.5, step=0.1))
+    capacity = find_max_qps(
+        "unused", PAYLOAD, SLO, num_requests=100, seed=3, cost=cost
+    )
+    assert capacity.report.meets_slo()
+    info = cost.cache_info()
+    assert info["latency_misses"] <= 3
+    assert info["latency_hits"] > info["latency_misses"]

@@ -166,3 +166,22 @@ def test_find_max_qps_rejects_dangling_trace_flags():
 def test_serve_show_probes_requires_a_capacity_search():
     with pytest.raises(SystemExit, match="--find-max-qps"):
         main(_BASE + ["--show-probes"])
+
+
+def test_serve_show_cache_stats_prints_counters(capsys):
+    assert main(_BASE + ["--show-cache-stats"]) == 0
+    output = capsys.readouterr().out
+    assert "Cache stats" in output
+    assert "latency hits" in output
+    assert "backend evaluations" in output
+
+
+def test_serve_find_max_qps_show_cache_stats_covers_the_search(capsys):
+    assert main(
+        ["serve", "opt-6.7b", "--config", "S", "--gen-tokens", "4",
+         "--num-requests", "30", "--slo-e2e", "60", "--find-max-qps",
+         "--show-cache-stats"]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "max sustainable qps" in output
+    assert "Cache stats" in output
