@@ -106,7 +106,7 @@ from repro.fleet import (
     size_fleet,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",

@@ -313,6 +313,18 @@ def _serve_command(args: argparse.Namespace) -> int:
     _validate_trace_flags(args)
     if args.show_probes and not args.find_max_qps:
         raise SystemExit("--show-probes requires --find-max-qps")
+    if args.stream_trace is not None:
+        if args.csv is not None:
+            raise SystemExit("pass either --stream-trace or --csv, not both")
+        if args.find_max_qps:
+            raise SystemExit(
+                "--stream-trace streams one simulation's trace; it cannot "
+                "follow a capacity search"
+            )
+    if args.parallel < 1:
+        raise SystemExit("--parallel must be at least 1")
+    if args.parallel != 1 and not args.find_max_qps:
+        raise SystemExit("--parallel parallelizes --find-max-qps probes")
     slo = _serving_slo(args)
     scheduler_factory = _SCHEDULERS[args.scheduler]
     runner = ExperimentRunner()
@@ -336,6 +348,7 @@ def _serve_command(args: argparse.Namespace) -> int:
             seed=args.seed,
             runner=runner,
             cost=cost,
+            parallel=args.parallel,
         )
         report = capacity.report
         headers, rows = report.summary_rows()
@@ -360,6 +373,8 @@ def _serve_command(args: argparse.Namespace) -> int:
             cost,
             scheduler_factory(args),
             slo=slo,
+            trace_sink=args.stream_trace,
+            keep_records=args.stream_trace is None,
         )
         headers, rows = report.summary_rows()
         title = (
@@ -370,9 +385,12 @@ def _serve_command(args: argparse.Namespace) -> int:
     extra_tables = []
     if args.show_cache_stats:
         extra_tables.append(_cache_stats_table([cost], runner))
-    return _emit_report(
+    code = _emit_report(
         args, title, headers, rows, report, probe_rows, extra_tables=extra_tables
     )
+    if args.stream_trace is not None:
+        print(f"\nStreamed {report.num_requests} request rows to {args.stream_trace}")
+    return code
 
 
 def _parse_mix(spec: str) -> List[object]:
@@ -431,6 +449,18 @@ def _fleet_command(args: argparse.Namespace) -> int:
             "--size-for-qps searches the replica count itself; "
             "it cannot honour --num-devices (cap it with --max-replicas)"
         )
+    if args.stream_trace is not None:
+        if args.csv is not None:
+            raise SystemExit("pass either --stream-trace or --csv, not both")
+        if args.size_for_qps is not None:
+            raise SystemExit(
+                "--stream-trace streams one simulation's trace; it cannot "
+                "follow a sizing search"
+            )
+    if args.parallel < 1:
+        raise SystemExit("--parallel must be at least 1")
+    if args.parallel != 1 and args.size_for_qps is None:
+        raise SystemExit("--parallel parallelizes --size-for-qps probes")
     slo = _serving_slo(args)
     runner = ExperimentRunner()
     sharding = ShardingSpec(tensor_parallel=args.tp, pipeline_parallel=args.pp)
@@ -464,6 +494,7 @@ def _fleet_command(args: argparse.Namespace) -> int:
             max_replicas=args.max_replicas,
             runner=runner,
             cost_cache=cost_cache,
+            parallel=args.parallel,
         )
         cost_models = list(cost_cache.values())
         report = sizing.report
@@ -510,7 +541,14 @@ def _fleet_command(args: argparse.Namespace) -> int:
             runner=runner,
         )
         arrivals = _workload_arrivals(args, payload)
-        report = simulate_fleet(arrivals, fleet, get_router(args.router), slo=slo)
+        report = simulate_fleet(
+            arrivals,
+            fleet,
+            get_router(args.router),
+            slo=slo,
+            trace_sink=args.stream_trace,
+            keep_records=args.stream_trace is None,
+        )
         cost_models = [device.cost for device in fleet]
         headers, rows = report.summary_rows()
         title = (
@@ -522,7 +560,7 @@ def _fleet_command(args: argparse.Namespace) -> int:
     extra_tables = [("Per-device breakdown", device_headers, device_rows)]
     if args.show_cache_stats:
         extra_tables.append(_cache_stats_table(cost_models, runner))
-    return _emit_report(
+    code = _emit_report(
         args,
         title,
         headers,
@@ -531,6 +569,9 @@ def _fleet_command(args: argparse.Namespace) -> int:
         probe_rows,
         extra_tables=extra_tables,
     )
+    if args.stream_trace is not None:
+        print(f"\nStreamed {report.num_requests} request rows to {args.stream_trace}")
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -704,6 +745,18 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--csv", default=None, metavar="PATH",
         help="write the per-request trace as CSV",
+    )
+    parser.add_argument(
+        "--stream-trace", default=None, metavar="PATH",
+        help="stream the per-request trace to PATH as requests finish "
+             "(byte-identical to --csv but with O(in-flight) memory; "
+             "incompatible with --csv and with the capacity/sizing searches)",
+    )
+    parser.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="speculative probe threads for --find-max-qps/--size-for-qps "
+             "(capped at the CPU count; the probe trail and the result are "
+             "identical to the serial search)",
     )
     parser.add_argument(
         "--markdown", action="store_true", help="print a markdown table instead"

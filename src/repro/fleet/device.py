@@ -25,6 +25,22 @@ from repro.serving.simulator import BackendCostModel
 class Device:
     """One replica of the fleet: scheduler + cost model + timeline state."""
 
+    __slots__ = (
+        "scheduler",
+        "cost",
+        "backend_name",
+        "records",
+        "busy_until",
+        "busy_s",
+        "queue_depth",
+        "_occupancy",
+        "outstanding",
+        "outstanding_work_s",
+        "keep_records",
+        "track_work",
+        "queue_stats",
+    )
+
     def __init__(
         self,
         backend: Union[str, Backend],
@@ -71,6 +87,17 @@ class Device:
         self.outstanding = 0
         #: Estimated seconds of solo work assigned but not finished.
         self.outstanding_work_s = 0.0
+        #: When False (a ``keep_records=False`` fleet run) arrivals are not
+        #: retained in :attr:`records` — the fleet loop streams them out.
+        self.keep_records = True
+        #: When False the loop's router never reads
+        #: :attr:`outstanding_work_s`, so enqueue/complete skip the
+        #: per-record cost lookups that feed it (set per run by
+        #: ``simulate_fleet`` from ``Router.needs_work_estimates``).
+        self.track_work = True
+        #: Streaming replacement for :attr:`queue_depth` (set by
+        #: ``keep_records=False`` fleet runs).
+        self.queue_stats = None
 
     # -- routing signals -----------------------------------------------------
     def job_seconds(self, record: RequestRecord) -> float:
@@ -88,9 +115,11 @@ class Device:
             # Resolve the display name (and fail fast on an OOM payload) on
             # the first request, exactly like the single-device loop.
             self.backend_name = self.cost.profile(record.request).backend_name
-        self.records.append(record)
+        if self.keep_records:
+            self.records.append(record)
         self.outstanding += 1
-        self.outstanding_work_s += self.job_seconds(record)
+        if self.track_work:
+            self.outstanding_work_s += self.job_seconds(record)
         self.scheduler.enqueue(record, now)
 
     def maybe_start(
@@ -109,7 +138,10 @@ class Device:
         occupancy = self.scheduler.next_occupancy(
             now, self.cost, horizon=horizon, max_steps=max_steps
         )
-        self.queue_depth.append((now, self.scheduler.waiting))
+        if self.queue_stats is not None:
+            self.queue_stats.add(now, self.scheduler.waiting)
+        else:
+            self.queue_depth.append((now, self.scheduler.waiting))
         if occupancy is None:
             return
         if occupancy.seconds < 0:
@@ -124,7 +156,8 @@ class Device:
         for record in completed:
             record.finish_s = now
             self.outstanding -= 1
-            self.outstanding_work_s -= self.job_seconds(record)
+            if self.track_work:
+                self.outstanding_work_s -= self.job_seconds(record)
         self.busy_until = None
         self._occupancy = None
         return completed
@@ -133,5 +166,9 @@ class Device:
         """Append the closing queue-depth sample (mirrors the single loop,
         including its skip of a sample the last event already stamped)."""
         sample = (makespan_s, self.scheduler.waiting)
-        if not self.queue_depth or self.queue_depth[-1] != sample:
+        if self.queue_stats is not None:
+            # Duplicate or zero-width samples leave the streamed area/max
+            # untouched, so no dedup check is needed here.
+            self.queue_stats.add(*sample)
+        elif not self.queue_depth or self.queue_depth[-1] != sample:
             self.queue_depth.append(sample)

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.serving.metrics import (
     SLOSpec,
     ServingReport,
+    StreamedMetrics,
     TRACE_CSV_FIELDS,
     percentile_triplet,
     trace_row,
@@ -51,6 +52,10 @@ class FleetReport:
     #: True when a ``fail_fast`` run aborted early because SLO attainment
     #: could no longer reach the threshold (records are partially stamped).
     early_exit: bool = False
+    #: Exact fleet-wide streamed accumulators from a ``keep_records=False``
+    #: run (``records`` is empty then); every merged metric is answered
+    #: from these instead.
+    streamed: Optional[StreamedMetrics] = None
 
     # -- fleet shape ---------------------------------------------------------
     @property
@@ -73,10 +78,13 @@ class FleetReport:
             busy_s=sum(report.busy_s for report in self.device_reports),
             queue_depth=[],
             slo=self.slo,
+            streamed=self.streamed,
         )
 
     @property
     def num_requests(self) -> int:
+        if self.streamed is not None:
+            return self.streamed.num_requests
         return len(self.records)
 
     @property
@@ -199,6 +207,11 @@ class FleetReport:
         routed carry a blank device cell (their timing cells are already
         blank), matching the single-device report's complete trace.
         """
+        if self.streamed is not None:
+            raise ValueError(
+                "this report was built with keep_records=False; pass "
+                "trace_sink= to simulate_fleet to stream the trace instead"
+            )
         buffer = io.StringIO()
         writer = csv.DictWriter(
             buffer, fieldnames=FLEET_TRACE_CSV_FIELDS, lineterminator="\n"

@@ -26,7 +26,8 @@ Four policies are built in:
 
 from __future__ import annotations
 
-from typing import Sequence
+import heapq
+from typing import List, Optional, Sequence, Tuple
 
 from repro.fleet.device import Device
 from repro.serving.request import RequestRecord
@@ -38,17 +39,37 @@ class Router:
     Routers may carry state (round-robin does), so the fleet simulator
     claims each instance for a single run via :attr:`used` — reuse would
     silently break seed-determinism of the device assignment.
+
+    The fleet event loop additionally notifies the router about state
+    changes it would otherwise have to rediscover by scanning: ``attach``
+    once before the run, ``on_completed`` for every device that finishes
+    an occupancy.  Both are no-ops here; a policy may use them to keep an
+    incremental index (JSQ keeps a lazy heap, making each routing decision
+    O(log devices) instead of O(devices)).  Every fast path must preserve
+    the scan's exact semantics — minimum score, ties to the smallest
+    device index — because the device assignment is part of the
+    byte-identical trace contract.
     """
 
     name = "router"
     #: Set by :func:`repro.fleet.simulator.simulate_fleet` on first use.
     used = False
+    #: Whether :meth:`route` reads ``Device.outstanding_work_s``.  The
+    #: fleet loop skips per-record work-estimate bookkeeping for policies
+    #: that never look at it (two cost-model lookups per request).
+    needs_work_estimates = False
 
     def route(
         self, record: RequestRecord, devices: Sequence[Device], now: float
     ) -> int:
         """Index of the device that should own ``record``."""
         raise NotImplementedError
+
+    def attach(self, devices: Sequence[Device]) -> None:
+        """Called once by the fleet loop before the first arrival routes."""
+
+    def on_completed(self, index: int, device: Device) -> None:
+        """Called by the fleet loop after ``device`` stamped completions."""
 
     @staticmethod
     def _argmin(scores: Sequence[float]) -> int:
@@ -77,20 +98,70 @@ class RoundRobinRouter(Router):
 
 
 class JoinShortestQueueRouter(Router):
-    """Fewest outstanding requests (assigned but not finished)."""
+    """Fewest outstanding requests (assigned but not finished).
+
+    When the fleet loop attaches it, routing runs off a lazy-invalidation
+    heap of ``(outstanding, index)`` pairs: the loop reports completions
+    via :meth:`on_completed`, stale heap entries (whose count no longer
+    matches the mirror) are discarded as they surface, and the fresh
+    minimum is exactly the scan's answer — same count, same
+    smallest-index tie-break — at O(log devices) per decision.  Direct
+    :meth:`route` calls without an :meth:`attach` (or with a different
+    fleet) fall back to the O(devices) scan.
+    """
 
     name = "jsq"
+
+    def __init__(self) -> None:
+        self._counts: Optional[List[int]] = None
+        self._heap: Optional[List[Tuple[int, int]]] = None
+
+    def attach(self, devices: Sequence[Device]) -> None:
+        self._counts = [device.outstanding for device in devices]
+        self._heap = [(count, index) for index, count in enumerate(self._counts)]
+        heapq.heapify(self._heap)
+
+    def on_completed(self, index: int, device: Device) -> None:
+        counts = self._counts
+        if counts is None:
+            return
+        counts[index] = device.outstanding
+        heap = self._heap
+        heapq.heappush(heap, (device.outstanding, index))
+        if len(heap) > 4 * len(counts) + 64:
+            # Compact accumulated stale entries; rebuilding from the
+            # mirror is value-identical, so determinism is unaffected.
+            heap[:] = [(count, i) for i, count in enumerate(counts)]
+            heapq.heapify(heap)
 
     def route(
         self, record: RequestRecord, devices: Sequence[Device], now: float
     ) -> int:
-        return self._argmin([device.outstanding for device in devices])
+        counts = self._counts
+        if counts is None or len(counts) != len(devices):
+            return self._argmin([device.outstanding for device in devices])
+        heap = self._heap
+        while True:
+            count, index = heap[0]
+            if count == counts[index]:
+                break
+            heapq.heappop(heap)
+        counts[index] = count + 1
+        # The chosen entry just went stale; swap it for the fresh count.
+        heapq.heapreplace(heap, (count + 1, index))
+        return index
 
 
 class LeastWorkRouter(Router):
-    """Least outstanding work, measured in estimated solo seconds."""
+    """Least outstanding work, measured in estimated solo seconds.
+
+    Stays on the O(devices) scan: an incremental float index would have
+    to *add* work increments, and float addition does not commute with
+    the scan's exact comparisons, breaking trace byte-identity.
+    """
 
     name = "least-work"
+    needs_work_estimates = True
 
     def route(
         self, record: RequestRecord, devices: Sequence[Device], now: float
@@ -107,6 +178,7 @@ class SLOAwareRouter(Router):
     """
 
     name = "slo-aware"
+    needs_work_estimates = True
 
     def route(
         self, record: RequestRecord, devices: Sequence[Device], now: float

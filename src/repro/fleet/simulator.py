@@ -21,23 +21,39 @@ All devices may share one :class:`repro.api.runner.ExperimentRunner`:
 a 16-device, 10k-request simulation still costs a handful of backend
 evaluations because every replica of the same backend hits the same
 memoized profiles.
+
+Scale: the loop pops completions from the shared heap event core
+(:mod:`repro.serving.events`, which documents the total event order the
+determinism rests on), re-plans only the devices an event actually
+touched, and — with ``trace_sink``/``keep_records=False`` — streams each
+request's trace row out the moment it is stamped while folding exact
+metric reservoirs per device, so a million-request, hundred-device day
+runs in seconds holding O(in-flight) record state.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import heapq
 from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.api.backend import Backend
 from repro.api.runner import ExperimentRunner
 from repro.fleet.device import Device
-from repro.fleet.report import FleetReport
+from repro.fleet.report import FLEET_TRACE_CSV_FIELDS, FleetReport
 from repro.fleet.router import JoinShortestQueueRouter, Router
 from repro.fleet.sharding import ShardingSpec
-from repro.serving.metrics import ServingReport, SLOSpec
+from repro.serving.events import COMPLETION, EventQueue
+from repro.serving.metrics import (
+    ServingReport,
+    SLOSpec,
+    StreamedMetrics,
+    metric_sample,
+    trace_values,
+)
 from repro.serving.request import ServingRequest
 from repro.serving.scheduler import FCFSScheduler, Scheduler
-from repro.serving.simulator import _ordered_records
+from repro.serving.simulator import _arrival_source, _QueueDepthStats
+from repro.serving.stream import TraceSink, TraceStreamer
 
 BackendLike = Union[str, Backend]
 
@@ -93,6 +109,8 @@ def simulate_fleet(
     slo: Optional[SLOSpec] = None,
     max_steps: Optional[int] = None,
     fail_fast: bool = False,
+    trace_sink: Optional[TraceSink] = None,
+    keep_records: bool = True,
 ) -> FleetReport:
     """Run the arrival stream across the fleet and merge the timelines.
 
@@ -101,6 +119,16 @@ def simulate_fleet(
     1 = step-by-step; both yield byte-identical trace CSVs).  With
     ``fail_fast`` (requires ``slo``) the loop aborts once attainment can
     no longer reach the threshold, which makes failing sizing probes cheap.
+
+    ``trace_sink``/``keep_records`` stream the fleet trace exactly as in
+    :func:`repro.serving.simulator.simulate`: rows (including the routed
+    device column) are written in arrival order the moment each request is
+    fully stamped, byte-identical to :meth:`FleetReport.to_csv`, and with
+    ``keep_records=False`` the run holds O(in-flight) record state while
+    the report answers every aggregate from exact streamed reservoirs
+    (fleet-wide and per-device).  Lazy (non-list) streams combined with
+    ``keep_records=False`` are consumed incrementally and cannot be used
+    with ``fail_fast``.
     """
     router = router if router is not None else JoinShortestQueueRouter()
     if max_steps is not None and max_steps < 1:
@@ -112,7 +140,6 @@ def simulate_fleet(
             "router already drove a simulation; use a fresh one "
             "(routers may carry state across route() calls)"
         )
-    router.used = True
     devices = list(devices)
     if not devices:
         raise ValueError("cannot simulate an empty fleet")
@@ -120,96 +147,301 @@ def simulate_fleet(
         if device.records or not device.idle:
             raise ValueError("devices already carry state; build a fresh fleet")
 
-    records = _ordered_records(requests)
-    if not records:
+    source = _arrival_source(requests, keep_records)
+    if source.peek() is None:
         raise ValueError("cannot simulate an empty request stream")
-    total = len(records)
-    arrivals = deque(records)
-    # Arrivals are delivered in `records` order, so appending each routed
-    # index builds a list parallel to `records`.
-    assignments: List[int] = []
+    total = source.total
+    if fail_fast and total is None:
+        raise ValueError(
+            "fail_fast needs the total request count; pass a list instead of "
+            "a lazy stream (or keep_records=True to materialize it)"
+        )
+    first_payload = source.first_request
 
+    # Every input validated: only now does the router get claimed, so a
+    # rejected call never poisons a router that routed nothing.
+    router.used = True
+    router.attach(devices)
+    for device in devices:
+        device.track_work = router.needs_work_estimates
+        if not keep_records:
+            device.keep_records = False
+            device.queue_stats = _QueueDepthStats()
+
+    # Arrivals are delivered in stream order, so appending each routed
+    # index builds a list parallel to the trace rows.
+    assignments: List[int] = []
+    fleet_metrics: Optional[StreamedMetrics] = None
+    device_metrics: Optional[List[StreamedMetrics]] = None
+    streamer: Optional[TraceStreamer] = None
+    # Routed-but-unfinished records (with their device index), tracked
+    # only when an early exit could leave some behind; metrics-only runs
+    # (no sink) skip the reorder buffer and feed the reservoirs directly
+    # at completion time, attributing each sample by the completing
+    # device's index.
+    live: Optional[dict] = None
+    if not keep_records:
+        fleet_metrics = StreamedMetrics(slo_met=0 if slo is not None else None)
+        device_metrics = [
+            StreamedMetrics(slo_met=0 if slo is not None else None) for _ in devices
+        ]
+    if trace_sink is not None:
+
+        def row_of(record, index):
+            values = trace_values(record, slo)
+            device_cell = assignments[index] if index < len(assignments) else ""
+            return [values[0], device_cell] + values[1:]
+
+        observers = []
+        if fleet_metrics is not None:
+
+            def observe(record, index):
+                sample = metric_sample(record, slo)
+                fleet_metrics.add_sample(sample)
+                if index < len(assignments):
+                    device_metrics[assignments[index]].add_sample(sample)
+
+            observers.append(observe)
+        streamer = TraceStreamer(
+            trace_sink, FLEET_TRACE_CSV_FIELDS, row_of, observers
+        )
+    elif fleet_metrics is not None and fail_fast:
+        live = {}
+    #: Bound per-device fold methods for the metrics-only fast path (no
+    #: sink, no reorder buffer): one fold per record, merged at close.
+    device_fold = (
+        [metrics.fold for metrics in device_metrics]
+        if streamer is None and device_metrics is not None
+        else None
+    )
+
+    queue = EventQueue()
     now = 0.0
     num_events = 0
     missed = 0
     early_exit = False
-    while True:
-        num_events += 1
-        # 1. Stamp completions due now (device order is the tie-break).
-        for device in devices:
-            if not device.idle and device.busy_until <= now:
-                for record in device.complete(now):
-                    if fail_fast and not slo.met_by(record):
-                        missed += 1
-        # Attainment can no longer reach the threshold even if everything
-        # still in flight meets the SLO: the probe is decided, stop here.
-        if fail_fast and missed and (total - missed) / total < slo.min_attainment:
-            early_exit = True
-            break
-        # 2. Deliver and route arrivals due now.
-        while arrivals and arrivals[0].arrival_s <= now:
-            record = arrivals.popleft()
-            index = router.route(record, devices, now)
-            if not 0 <= index < len(devices):
-                raise ValueError(
-                    f"router {router.name!r} routed to device {index} "
-                    f"of a {len(devices)}-device fleet"
-                )
-            assignments.append(index)
-            devices[index].enqueue(record, now)
-        # 3. Idle devices plan (sampling their queue depth as they do).
-        # A device with nothing pending and no arrivals left skips the
-        # attempt — the single-device loop's exit condition, which keeps
-        # its queue-depth sample stream identical for a 1-replica fleet.
-        # The horizon handed to each scheduler is the next undelivered
-        # arrival, exactly as in the single-device loop.
-        horizon = arrivals[0].arrival_s if arrivals else None
-        for device in devices:
-            if arrivals or device.scheduler.pending:
-                device.maybe_start(now, horizon=horizon, max_steps=max_steps)
-        # 4. Advance to the next event, or stop.
-        next_times = [
-            device.busy_until for device in devices if not device.idle
-        ]
-        if arrivals:
-            next_times.append(arrivals[0].arrival_s)
-        if not next_times:
-            stuck = sum(device.scheduler.pending for device in devices)
-            if stuck:
-                raise RuntimeError(
-                    f"fleet schedulers report {stuck} pending requests "
-                    "but planned no work"
-                )
-            break
-        now = min(next_times)
+    num_devices = len(devices)
+    # Hot-loop locals: the body below runs a couple of million times on a
+    # 1M-request day, so every repeated attribute lookup is hoisted once.
+    # The heap and its push counter are owned by this loop directly (the
+    # counter is written back to the queue below), and the source's next
+    # arrival time is read straight off its ``head_time`` attribute —
+    # both shave a method call from paths taken once or more per event.
+    source_pop = source.pop
+    route = router.route
+    on_completed = router.on_completed
+    heap = queue._heap
+    heap_push = heapq.heappush
+    heap_pop = heapq.heappop
+    seq = queue._seq
+    #: Whether the router reads per-device work estimates (mirrors the
+    #: ``device.track_work`` flags set above) and the per-device scheduler
+    #: enqueue hooks, hoisted for the arrival path.
+    track_work = router.needs_work_estimates
+    enqueues = [device.scheduler.enqueue for device in devices]
+    # Devices whose state changed this event and therefore need a planning
+    # attempt; everyone plans at t=0 (the linear loop's first iteration).
+    touched = set(range(num_devices))
+    try:
+        while True:
+            num_events += 1
+            # 1. Stamp completions due now.  The heap yields simultaneous
+            # completions in device-index order — the linear scan's
+            # tie-break (see repro.serving.events).
+            if heap and heap[0][0] <= now:
+                while heap and heap[0][0] <= now:
+                    index = heap_pop(heap)[2]
+                    device = devices[index]
+                    # ``Device.complete`` inlined (same statements, same
+                    # order): most completions are prefills with nothing
+                    # to stamp, so the empty-list guard skips the loop.
+                    completed = device._occupancy.completed
+                    device.busy_until = None
+                    device._occupancy = None
+                    if completed:
+                        device.outstanding -= len(completed)
+                        for record in completed:
+                            record.finish_s = now
+                            if track_work:
+                                device.outstanding_work_s -= device.job_seconds(
+                                    record
+                                )
+                            if fail_fast and not slo.met_by(record):
+                                missed += 1
+                            if streamer is not None:
+                                streamer.finish(record)
+                            elif device_fold is not None:
+                                # Fold once, into the completing device's
+                                # reservoirs; the fleet-wide view is merged
+                                # from these at close time.
+                                device_fold[index](record, slo)
+                                if live is not None:
+                                    del live[id(record)]
+                    on_completed(index, device)
+                    touched.add(index)
+                # Attainment can no longer reach the threshold even if
+                # everything still in flight meets the SLO: the probe is
+                # decided, stop here.
+                if (
+                    fail_fast
+                    and missed
+                    and (total - missed) / total < slo.min_attainment
+                ):
+                    early_exit = True
+                    break
+            # 2. Deliver and route arrivals due now.
+            while True:
+                due = source.head_time
+                if due is None or due > now:
+                    break
+                record = source_pop()
+                index = route(record, devices, now)
+                if not 0 <= index < num_devices:
+                    raise ValueError(
+                        f"router {router.name!r} routed to device {index} "
+                        f"of a {num_devices}-device fleet"
+                    )
+                assignments.append(index)
+                # ``Device.enqueue`` inlined (same statements, same order);
+                # the keep_records/track_work flags are run-wide, so the
+                # loop tests the hoisted locals instead of device attrs.
+                device = devices[index]
+                if device.backend_name is None:
+                    device.backend_name = device.cost.profile(
+                        record.source.request
+                    ).backend_name
+                if keep_records:
+                    device.records.append(record)
+                device.outstanding += 1
+                if track_work:
+                    device.outstanding_work_s += device.job_seconds(record)
+                enqueues[index](record, now)
+                if streamer is not None:
+                    streamer.register(record)
+                elif live is not None:
+                    live[id(record)] = (record, index)
+                touched.add(index)
+            # 3. Touched idle devices plan (sampling their queue depth as
+            # they do), in device-index order.  Untouched devices need no
+            # attempt: their schedulers saw no arrival and no completion,
+            # so planning could only repeat the previous answer — skipping
+            # it drops only redundant same-depth queue samples, which
+            # leaves every derived queue statistic unchanged.  The horizon
+            # handed to each scheduler is the next undelivered arrival,
+            # exactly as in the single-device loop; a device with nothing
+            # pending and no arrivals left skips the attempt (the
+            # single-device loop's exit condition, which keeps a 1-replica
+            # fleet's sample stream identical to ``simulate()``'s).
+            horizon = source.head_time
+            if touched:
+                # A single touched device (the common case: one arrival or
+                # one completion) needs no sort.  The body below is
+                # ``Device.maybe_start`` inlined — same statements, same
+                # order — minus the call layers this loop pays millions of
+                # times on a 1M-request day.
+                order = touched if len(touched) == 1 else sorted(touched)
+                for index in order:
+                    device = devices[index]
+                    if device.busy_until is None:
+                        scheduler = device.scheduler
+                        if horizon is not None or scheduler.pending:
+                            occupancy = scheduler.next_occupancy(
+                                now, device.cost, horizon=horizon, max_steps=max_steps
+                            )
+                            stats = device.queue_stats
+                            if stats is not None:
+                                stats.add(now, scheduler.waiting)
+                            else:
+                                device.queue_depth.append((now, scheduler.waiting))
+                            if occupancy is not None:
+                                seconds = occupancy.seconds
+                                if seconds < 0:
+                                    raise ValueError(
+                                        "occupancy duration must be non-negative"
+                                    )
+                                end = occupancy.end_s
+                                if end is None:
+                                    end = now + seconds
+                                device.busy_until = end
+                                device.busy_s += seconds
+                                device._occupancy = occupancy
+                                seq += 1
+                                heap_push(heap, (end, COMPLETION, index, seq))
+                touched.clear()
+            # 4. Advance to the next event, or stop.
+            if heap:
+                next_completion = heap[0][0]
+                if horizon is None or next_completion <= horizon:
+                    now = next_completion
+                else:
+                    now = horizon
+            else:
+                if horizon is None:
+                    stuck = sum(device.scheduler.pending for device in devices)
+                    if stuck:
+                        raise RuntimeError(
+                            f"fleet schedulers report {stuck} pending requests "
+                            "but planned no work"
+                        )
+                    break
+                now = horizon
 
-    for device in devices:
-        device.finalize(now)
-        if device.backend_name is None:
-            # A replica that received no traffic still resolves its display
-            # name against the stream's first payload (memoized, and the
-            # same fail-fast OOM check the single-device loop applies).
-            device.backend_name = device.cost.profile(records[0].request).backend_name
+        queue._seq = seq
+        for device in devices:
+            device.finalize(now)
+            if device.backend_name is None:
+                # A replica that received no traffic still resolves its
+                # display name against the stream's first payload
+                # (memoized, and the same fail-fast OOM check the
+                # single-device loop applies).
+                device.backend_name = device.cost.profile(first_payload).backend_name
+        if streamer is not None:
+            streamer.close(tail=source.tail())
+        elif fleet_metrics is not None:
+            # No sink, so no reorder buffer ran: count whatever an early
+            # exit left unfinished (still attributed to its routed device),
+            # then build the fleet-wide reservoirs by merging the
+            # per-device ones — the same value multiset the streamer's
+            # observer accumulates incrementally — plus the undelivered
+            # tail, which has no device (exactly as the observer counts it).
+            if live:
+                for record, index in live.values():
+                    device_fold[index](record, slo)
+            for part in device_metrics:
+                fleet_metrics.merge_from(part)
+            for record in source.tail():
+                fleet_metrics.fold(record, slo)
+    finally:
+        if streamer is not None:
+            streamer.release()
 
-    device_reports = [
-        ServingReport(
-            backend_name=device.backend_name,
-            scheduler_name=device.scheduler.name,
-            records=device.records,
-            makespan_s=now,
-            busy_s=device.busy_s,
-            queue_depth=device.queue_depth,
-            slo=slo,
+    device_reports = []
+    for index, device in enumerate(devices):
+        streamed = None
+        if device_metrics is not None:
+            streamed = device_metrics[index]
+            streamed.queue_depth_area = device.queue_stats.area
+            streamed.max_queue_depth = device.queue_stats.max_depth
+        device_reports.append(
+            ServingReport(
+                backend_name=device.backend_name,
+                scheduler_name=device.scheduler.name,
+                records=device.records,
+                makespan_s=now,
+                busy_s=device.busy_s,
+                queue_depth=device.queue_depth,
+                slo=slo,
+                streamed=streamed,
+            )
         )
-        for device in devices
-    ]
     return FleetReport(
         router_name=router.name,
         device_reports=device_reports,
-        records=records,
+        records=source.records if keep_records else [],
         assignments=assignments,
         makespan_s=now,
         slo=slo,
         num_events=num_events,
         early_exit=early_exit,
+        streamed=fleet_metrics,
     )

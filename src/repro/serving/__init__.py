@@ -30,8 +30,15 @@ inputs give byte-identical reports on every machine.
 """
 
 from repro.serving.capacity import CapacityResult, find_max_qps
-from repro.serving.metrics import ServingReport, SLOSpec, percentile
+from repro.serving.events import ARRIVAL, COMPLETION, PLANNING, EventQueue
+from repro.serving.metrics import (
+    ServingReport,
+    SLOSpec,
+    StreamedMetrics,
+    percentile,
+)
 from repro.serving.request import RequestRecord, ServingRequest
+from repro.serving.stream import DigestSink, TraceStreamer
 from repro.serving.scheduler import (
     ContinuousBatchScheduler,
     FCFSScheduler,
@@ -71,7 +78,14 @@ __all__ = [
     "simulate",
     "ServingReport",
     "SLOSpec",
+    "StreamedMetrics",
     "percentile",
     "CapacityResult",
     "find_max_qps",
+    "EventQueue",
+    "COMPLETION",
+    "ARRIVAL",
+    "PLANNING",
+    "TraceStreamer",
+    "DigestSink",
 ]

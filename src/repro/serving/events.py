@@ -1,0 +1,95 @@
+"""The heap-driven event core shared by the serving and fleet loops.
+
+Both :func:`repro.serving.simulator.simulate` and
+:func:`repro.fleet.simulator.simulate_fleet` advance a virtual clock over
+the same two primitive events — device-occupancy completions and request
+arrivals — followed by the planning opportunities they create.  The
+:class:`EventQueue` is the shared priority queue those loops pop from: a
+``heapq`` of ``(time, kind, index, seq)`` entries, so finding the next
+event costs O(log n) pushes/pops instead of an O(devices) scan per
+iteration.  Arrivals stay outside the heap (workload generators emit them
+already sorted; the loops merge the stream head against
+:meth:`EventQueue.peek_time`), so in practice the heap holds only the
+in-flight occupancy completions — at most one per busy device.
+
+The event-ordering contract
+---------------------------
+
+Determinism — byte-identical trace CSVs under a fixed seed, coalesced or
+not — rests on a total order over simultaneous events, and the entry
+tuples encode exactly the order the linear-scan loops used:
+
+1. ``time``: virtual seconds; earlier events first.
+2. ``kind``: at equal times, :data:`COMPLETION` (0) sorts before
+   :data:`ARRIVAL` (1) sorts before :data:`PLANNING` (2).  Completions
+   due *now* are stamped before new arrivals are routed, and arrivals are
+   delivered before idle devices plan — the single-device iteration
+   order, generalized.
+3. ``index``: at equal (time, kind), the smaller device index wins —
+   the fleet loop's "device order is the tie-break" rule.
+4. ``seq``: a monotonic push counter, making the sort total (and stable
+   for repeated pushes of the same (time, kind, index)) without ever
+   comparing payloads.
+
+Consumers must preserve the contract when batching: popping everything
+due at one instant via :meth:`pop_due` yields the entries already in this
+order, and planning passes run over the touched-device set in ascending
+index order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+#: Event kinds, in tie-break order (see the module docstring).
+COMPLETION = 0
+ARRIVAL = 1
+PLANNING = 2
+
+#: One scheduled event: (time, kind, index, seq).
+Event = Tuple[float, int, int, int]
+
+
+class EventQueue:
+    """A deterministic min-heap of simulation events.
+
+    ``push`` and ``pop`` are O(log n); ``peek_time`` is O(1).  The queue
+    never compares payload objects — ordering is fully decided by the
+    ``(time, kind, index, seq)`` tuple — so any event mix is totally
+    ordered and a run replays identically however the heap internally
+    arranges equal-priority siblings.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, kind: int = COMPLETION, index: int = 0) -> None:
+        """Schedule an event at ``time`` (device/stream ``index``)."""
+        self._seq += 1
+        heapq.heappush(self._heap, (time, kind, index, self._seq))
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event, or None when the queue is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the next event (raises IndexError when empty)."""
+        return heapq.heappop(self._heap)
+
+    def pop_due(self, now: float) -> List[Event]:
+        """All events with ``time <= now``, in the contract's order."""
+        due: List[Event] = []
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            due.append(heapq.heappop(heap))
+        return due

@@ -1,0 +1,59 @@
+"""Speculative probe execution for the capacity and sizing searches.
+
+Both searches walk a deterministic probe tree: a doubling/halving bracket
+ladder followed by a bisection whose next probe depends only on the last
+verdict.  That structure makes speculation safe — at any point the next
+few probes the *serial* search could request are enumerable in advance —
+and :class:`ProbePool` exploits it: the search prefetches those candidate
+probes onto a thread pool and then *consumes* results in the serial
+order, recording each probe's verdict only at consumption time.  The
+audit trail, every verdict and the returned configuration are therefore
+bit-identical to the serial search; speculation only changes when the
+simulations run, never which results are observed.
+
+Probes keyed by the same value are computed once (futures are memoized),
+and mispredicted speculative probes are simply never consumed — their
+results are discarded when the pool closes.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Hashable
+
+from concurrent.futures import Future
+
+
+def probe_width(parallel: int) -> int:
+    """Worker count for ``parallel``: capped at the machine's CPU count."""
+    return max(1, min(parallel, os.cpu_count() or 1))
+
+
+class ProbePool:
+    """Memoizing future pool over a deterministic probe function.
+
+    ``fn`` must be a pure function of its key (the same key always yields
+    the same verdict) and safe to call from worker threads.  ``prefetch``
+    schedules a key speculatively; ``get`` blocks on (and memoizes) its
+    result.  Keys are only ever computed once.
+    """
+
+    def __init__(self, fn: Callable[[Hashable], object], width: int):
+        self._fn = fn
+        self._executor = ThreadPoolExecutor(max_workers=max(1, width))
+        self._futures: Dict[Hashable, Future] = {}
+
+    def prefetch(self, key: Hashable) -> None:
+        """Schedule ``key`` if it is not already scheduled or done."""
+        if key not in self._futures:
+            self._futures[key] = self._executor.submit(self._fn, key)
+
+    def get(self, key: Hashable):
+        """The probe result for ``key`` (scheduling it if necessary)."""
+        self.prefetch(key)
+        return self._futures[key].result()
+
+    def close(self) -> None:
+        """Drop pending speculative work and release the workers."""
+        self._executor.shutdown(wait=False, cancel_futures=True)

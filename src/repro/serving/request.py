@@ -20,7 +20,7 @@ from typing import Optional
 from repro.api.request import InferenceRequest
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class ServingRequest:
     """One arrival: *when* a request shows up and *what* it asks for.
 
@@ -39,7 +39,7 @@ class ServingRequest:
             )
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestRecord:
     """Lifecycle of one :class:`ServingRequest` through the simulator.
 

@@ -58,7 +58,7 @@ PREFILL = "prefill"
 DECODE = "decode"
 
 
-@dataclass
+@dataclass(slots=True)
 class Occupancy:
     """One non-preemptive stretch of device time planned by a scheduler."""
 
@@ -193,13 +193,37 @@ class ContinuousBatchScheduler(Scheduler):
 
     name = "continuous"
 
+    #: Cap on the per-scheduler payload-identity memos below; when a
+    #: generator-style workload overflows it (fresh payload objects per
+    #: request), the memo is wholesale reset — correctness is untouched
+    #: because entries only mirror the cost model's deterministic answers.
+    MEMO_SIZE = 4096
+
     def __init__(self, max_batch: int = 8):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         super().__init__()
         self.max_batch = max_batch
-        #: Active sequences as [record, remaining decode steps] pairs.
+        #: Active sequences as [record, remaining decode steps, payload]
+        #: triples (the payload is cached so the per-step pass skips the
+        #: record -> source -> request attribute chain).
         self._active: List[List] = []
+        #: Batch-membership aggregates maintained incrementally on
+        #: admission/release, so the per-step path never recomputes them:
+        #: total lanes, and id(payload) -> [payload, member count] (the
+        #: stored payload reference pins the id while counted).
+        self._lanes = 0
+        self._payloads: dict = {}
+        #: id(payload) -> (payload, ttft) and (id(payload), lanes) ->
+        #: (payload, step): one dict hit instead of the cost model's
+        #: lookup chain on the per-admission/per-step hot path.  The
+        #: stored payload reference pins the id (no stale-id reuse) and
+        #: is identity-checked on every hit.
+        self._ttft_memo: dict = {}
+        self._step_memo: dict = {}
+        #: The cost model the memos mirror; a scheduler reused with a
+        #: different model (allowed once it has drained) drops them.
+        self._memo_cost = None
 
     @property
     def pending(self) -> int:
@@ -217,31 +241,77 @@ class ContinuousBatchScheduler(Scheduler):
         horizon: Optional[float] = None,
         max_steps: Optional[int] = None,
     ) -> Optional[Occupancy]:
+        if cost is not self._memo_cost:
+            self._ttft_memo.clear()
+            self._step_memo.clear()
+            self._memo_cost = cost
         # Admission first: fill free batch slots with waiting prefills so
         # new requests reach their first token as early as possible.
         if self._waiting and len(self._active) < self.max_batch:
             record = self._waiting.popleft()
-            ttft = cost.ttft(record.request)
+            request = record.source.request
+            memo = self._ttft_memo
+            hit = memo.get(id(request))
+            if hit is not None and hit[0] is request:
+                ttft = hit[1]
+            else:
+                ttft = cost.ttft(request)
+                if len(memo) >= self.MEMO_SIZE:
+                    memo.clear()
+                memo[id(request)] = (request, ttft)
             record.prefill_start_s = now
             record.first_token_s = now + ttft
-            self._active.append([record, record.request.gen_tokens])
+            self._active.append([record, request.gen_tokens, request])
+            self._lanes += request.batch_size
+            ident = id(request)
+            payloads = self._payloads
+            counted = payloads.get(ident)
+            if counted is None:
+                payloads[ident] = [request, 1]
+            else:
+                counted[1] += 1
             return Occupancy(PREFILL, ttft)
-        if not self._active:
+        active = self._active
+        if not active:
             return None
-        lanes = sum(record.request.batch_size for record, _ in self._active)
-        step = max(
-            cost.decode_step(record.request, batch_size=lanes)
-            for record, _ in self._active
-        )
+        # The batch aggregates — total lanes and the distinct payload
+        # objects — are maintained incrementally on admission/release, so
+        # the per-step pass only finds the earliest in-batch completion.
+        # Pricing each distinct payload once collapses the per-member
+        # decode_step queries: max over distinct payloads equals max over
+        # all members because the cost model is a pure function of the
+        # payload.
+        lanes = self._lanes
+        limit = None
+        for entry in active:
+            remaining = entry[1]
+            if limit is None or remaining < limit:
+                limit = remaining
+        payloads = self._payloads
+        if len(payloads) == 1:
+            request = active[0][2]
+            memo = self._step_memo
+            hit = memo.get((id(request), lanes))
+            if hit is not None and hit[0] is request:
+                step = hit[1]
+            else:
+                step = cost.decode_step(request, batch_size=lanes)
+                if len(memo) >= self.MEMO_SIZE:
+                    memo.clear()
+                memo[(id(request), lanes)] = (request, step)
+        else:
+            step = max(
+                cost.decode_step(request, batch_size=lanes)
+                for request, _ in payloads.values()
+            )
         # Fast-forward: the batch composition is frozen until the next
         # in-batch completion, so up to `limit` steps are one occupancy.
-        limit = min(entry[1] for entry in self._active)
         if max_steps is not None and max_steps < limit:
             limit = max_steps
         # With a free slot, a future arrival is admissible at any step
         # boundary: stop at the first boundary that reaches the horizon
         # (with a full batch, arrivals can only queue — no cap needed).
-        admission_open = horizon is not None and len(self._active) < self.max_batch
+        admission_open = horizon is not None and len(active) < self.max_batch
         # Accumulate the boundaries one step at a time: `end` walks the
         # exact float sequence the uncoalesced loop would produce.
         steps, end = 1, now + step
@@ -249,12 +319,19 @@ class ContinuousBatchScheduler(Scheduler):
             steps += 1
             end += step
         finished = []
-        for entry in self._active:
+        for entry in active:
             entry[1] -= steps
             if entry[1] == 0:
                 finished.append(entry)
         for entry in finished:
-            self._active.remove(entry)
+            active.remove(entry)
+            request = entry[2]
+            self._lanes -= request.batch_size
+            counted = payloads[id(request)]
+            if counted[1] == 1:
+                del payloads[id(request)]
+            else:
+                counted[1] -= 1
         return Occupancy(
             DECODE,
             step if steps == 1 else end - now,

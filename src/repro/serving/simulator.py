@@ -7,6 +7,13 @@ workload's arrival stamps and the backend's analytical latencies; nothing
 here reads the wall clock, so a run is a pure function of
 ``(requests, scheduler, backend)`` and is exactly reproducible.
 
+Completions are popped from the shared heap event core
+(:mod:`repro.serving.events`, where the total event order behind the
+byte-identical-trace guarantee is documented), and ``trace_sink`` /
+``keep_records=False`` stream each request's trace row out as soon as it
+is fully stamped while exact metric reservoirs accumulate, so a
+million-request run holds O(in-flight batch) record state.
+
 The :class:`BackendCostModel` turns any registered
 :class:`repro.api.backend.Backend` into the device model: it profiles
 each distinct request shape once through a memoizing
@@ -41,27 +48,48 @@ also the first moment the uncoalesced loop could have *acted* on them.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.api.backend import Backend
 from repro.api.request import InferenceRequest
 from repro.api.result import RunResult
 from repro.api.runner import ExperimentRunner
-from repro.serving.metrics import ServingReport, SLOSpec
+from repro.serving.events import COMPLETION, EventQueue
+from repro.serving.metrics import (
+    ServingReport,
+    SLOSpec,
+    StreamedMetrics,
+    TRACE_CSV_FIELDS,
+    metric_sample,
+    trace_values,
+)
 from repro.serving.request import RequestRecord, ServingRequest
 from repro.serving.scheduler import FCFSScheduler, Scheduler
+from repro.serving.stream import TraceSink, TraceStreamer
 
 BackendLike = Union[str, Backend]
 
 #: Cache-miss sentinel distinguishing "absent" from a legitimate 0.0 latency.
 _MISSING = object()
 
+#: Default cap on the id-keyed intern table (see :class:`BackendCostModel`):
+#: far above any realistic in-flight set, far below a million-request run.
+DEFAULT_INTERN_CACHE_SIZE = 4096
+
 
 class BackendCostModel:
     """Per-phase latency oracle over one backend, memoized across queries."""
 
-    def __init__(self, backend: BackendLike, runner: Optional[ExperimentRunner] = None):
+    def __init__(
+        self,
+        backend: BackendLike,
+        runner: Optional[ExperimentRunner] = None,
+        *,
+        intern_cache_size: int = DEFAULT_INTERN_CACHE_SIZE,
+    ):
+        if intern_cache_size < 1:
+            raise ValueError("intern_cache_size must be at least 1")
         self._backend = backend
         self._runner = runner if runner is not None else ExperimentRunner()
         #: (request, batch width, field) -> seconds; see :meth:`_latency`.
@@ -69,12 +97,21 @@ class BackendCostModel:
         #: id(request) -> (request, {(batch width, field) -> seconds}).
         #: Workloads reuse payload objects, so the hot path resolves a
         #: latency by object identity without hashing the dataclass; the
-        #: stored request reference keeps the id stable for the cache's
+        #: stored request reference keeps the id stable for the entry's
         #: lifetime.  Equal-but-distinct payloads still share results
-        #: through ``_latency_cache``.
-        self._interned: Dict[int, Tuple[InferenceRequest, dict]] = {}
+        #: through ``_latency_cache``.  The table is LRU-bounded at
+        #: ``intern_cache_size`` entries: generator-style workloads build
+        #: a fresh payload object per request, and without a cap a
+        #: million-request run interns a million dead entries.  Eviction
+        #: only costs the evicted object its fast path — the keyed
+        #: ``_latency_cache`` still answers without re-profiling.
+        self._interned: "OrderedDict[int, Tuple[InferenceRequest, dict]]" = (
+            OrderedDict()
+        )
+        self._intern_cache_size = intern_cache_size
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     @property
     def backend_name(self) -> str:
@@ -88,10 +125,18 @@ class BackendCostModel:
         """One scalar latency, memoized locally so the event loop's inner
         per-step queries skip the request rebuild and the runner's lock."""
         batch = batch_size if batch_size is not None else request.batch_size
-        entry = self._interned.get(id(request))
+        interned = self._interned
+        ident = id(request)
+        entry = interned.get(ident)
         if entry is None or entry[0] is not request:
             entry = (request, {})
-            self._interned[id(request)] = entry
+            interned[ident] = entry
+            interned.move_to_end(ident)
+            if len(interned) > self._intern_cache_size:
+                interned.popitem(last=False)
+                self._evictions += 1
+        else:
+            interned.move_to_end(ident)
         table = entry[1]
         slot = (batch, field)
         value = table.get(slot, _MISSING)
@@ -148,15 +193,19 @@ class BackendCostModel:
         """Latency-lookup and backend-profile cache counters.
 
         ``latency_*`` counts this model's scalar lookups (a miss is a
-        lookup that had to consult :meth:`profile`); ``profile_*`` is the
-        shared :class:`ExperimentRunner`'s view, which spans every cost
-        model attached to that runner.
+        lookup that had to consult :meth:`profile`); ``latency_evictions``
+        counts intern-table entries dropped by the LRU cap (evictions
+        never force a re-profile, they only retire an object-identity
+        fast path); ``profile_*`` is the shared
+        :class:`ExperimentRunner`'s view, which spans every cost model
+        attached to that runner.
         """
         profile = self._runner.cache_info()
         return {
             "latency_hits": self._hits,
             "latency_misses": self._misses,
             "latency_size": len(self._latency_cache),
+            "latency_evictions": self._evictions,
             "profile_hits": profile["hits"],
             "profile_misses": profile["misses"],
             "profile_size": profile["size"],
@@ -176,18 +225,188 @@ def _is_sorted(requests: Sequence[ServingRequest]) -> bool:
     return True
 
 
-def _ordered_records(requests: Iterable[ServingRequest]) -> List[RequestRecord]:
-    """Records in arrival order, skipping the sort for pre-sorted lists.
+def _ordered_requests(requests: Iterable[ServingRequest]) -> List[ServingRequest]:
+    """The stream as a sorted list, skipping the sort for pre-sorted lists.
 
     Workload generators and trace replays already emit sorted lists, so
     the common case is a single O(n) monotonicity scan; anything else
     (unsorted lists, generators) keeps the defensive sort.
     """
     if isinstance(requests, list) and _is_sorted(requests):
-        ordered = requests
-    else:
-        ordered = sorted(requests)
-    return [RequestRecord(request) for request in ordered]
+        return requests
+    return sorted(requests)
+
+
+def _ordered_records(requests: Iterable[ServingRequest]) -> List[RequestRecord]:
+    """Records in arrival order (see :func:`_ordered_requests`)."""
+    return [RequestRecord(request) for request in _ordered_requests(requests)]
+
+
+class _RecordSource:
+    """Arrival cursor over pre-built records (the keep-records path).
+
+    All cursors expose ``head_time`` — the next undelivered arrival's
+    time, or None — as a plain attribute kept current by ``pop``, so the
+    event loops read it without a method call (it is consulted several
+    times per event).
+    """
+
+    __slots__ = ("records", "_i", "head_time")
+
+    def __init__(self, records: List[RequestRecord]):
+        self.records = records
+        self._i = 0
+        self.head_time: Optional[float] = (
+            records[0].arrival_s if records else None
+        )
+
+    @property
+    def total(self) -> Optional[int]:
+        return len(self.records)
+
+    @property
+    def first_request(self) -> InferenceRequest:
+        return self.records[0].request
+
+    def peek(self) -> Optional[float]:
+        return self.head_time
+
+    def pop(self) -> RequestRecord:
+        records = self.records
+        i = self._i
+        record = records[i]
+        i += 1
+        self._i = i
+        self.head_time = records[i].arrival_s if i < len(records) else None
+        return record
+
+    def tail(self) -> Iterator[RequestRecord]:
+        """Records never delivered to the scheduler (early exit)."""
+        return iter(self.records[self._i :])
+
+
+class _LazyListSource:
+    """Arrival cursor over sorted requests, building each
+    :class:`RequestRecord` on delivery so dropped records stay transient
+    (the ``keep_records=False`` path over a materialized stream)."""
+
+    __slots__ = ("requests", "_i", "head_time")
+
+    def __init__(self, requests: List[ServingRequest]):
+        self.requests = requests
+        self._i = 0
+        self.head_time: Optional[float] = (
+            requests[0].arrival_s if requests else None
+        )
+
+    @property
+    def total(self) -> Optional[int]:
+        return len(self.requests)
+
+    @property
+    def first_request(self) -> InferenceRequest:
+        return self.requests[0].request
+
+    def peek(self) -> Optional[float]:
+        return self.head_time
+
+    def pop(self) -> RequestRecord:
+        requests = self.requests
+        i = self._i
+        record = RequestRecord(requests[i])
+        i += 1
+        self._i = i
+        self.head_time = requests[i].arrival_s if i < len(requests) else None
+        return record
+
+    def tail(self) -> Iterator[RequestRecord]:
+        return (RequestRecord(request) for request in self.requests[self._i :])
+
+
+class _LazyIterSource:
+    """Arrival cursor over a lazily-consumed request stream.
+
+    Holds a one-request lookahead, so an O(batch)-memory run never
+    materializes the arrival list either (pair with a generator workload).
+    The stream must already be sorted — out-of-order arrivals raise — and
+    its total size is unknown, which is why ``fail_fast`` (whose attainment
+    arithmetic needs the total) rejects lazy streams.
+    """
+
+    __slots__ = ("_iter", "_head", "head_time")
+
+    total: Optional[int] = None
+
+    def __init__(self, requests: Iterable[ServingRequest]):
+        self._iter = iter(requests)
+        self._head: Optional[ServingRequest] = next(self._iter, None)
+        self.head_time: Optional[float] = (
+            self._head.arrival_s if self._head is not None else None
+        )
+
+    @property
+    def first_request(self) -> InferenceRequest:
+        return self._head.request
+
+    def peek(self) -> Optional[float]:
+        return self.head_time
+
+    def pop(self) -> RequestRecord:
+        head = self._head
+        self._head = nxt = next(self._iter, None)
+        if nxt is None:
+            self.head_time = None
+        else:
+            self.head_time = when = nxt.arrival_s
+            # Explicit (arrival, id) comparison: the dataclass `<` builds
+            # two tuples per call, and this runs once per request.
+            if when < head.arrival_s or (
+                when == head.arrival_s and nxt.request_id < head.request_id
+            ):
+                raise ValueError(
+                    "a lazily-streamed request iterable must arrive pre-sorted "
+                    f"(saw {when:g}s after {head.arrival_s:g}s); "
+                    "pass a list to let the simulator sort it"
+                )
+        return RequestRecord(head)
+
+    def tail(self) -> Iterator[RequestRecord]:
+        return (RequestRecord(request) for request in self._iter)
+
+
+def _arrival_source(requests, keep_records: bool):
+    """Pick the cursor matching the stream type and retention mode."""
+    if keep_records:
+        return _RecordSource(_ordered_records(requests))
+    if isinstance(requests, (list, tuple)):
+        return _LazyListSource(_ordered_requests(list(requests)))
+    return _LazyIterSource(requests)
+
+
+class _QueueDepthStats:
+    """Streaming replacement for the (time, depth) sample list.
+
+    Accumulates exactly the aggregates the report derives from the list —
+    the time-weighted area (for the mean) and the maximum — so a
+    ``keep_records=False`` run reports identical queue statistics while
+    holding O(1) sample state.
+    """
+
+    __slots__ = ("area", "max_depth", "_last_t", "_last_depth")
+
+    def __init__(self) -> None:
+        self.area = 0.0
+        self.max_depth = 0
+        self._last_t: Optional[float] = None
+        self._last_depth = 0
+
+    def add(self, now: float, depth: int) -> None:
+        if self._last_t is not None:
+            self.area += self._last_depth * (now - self._last_t)
+        self._last_t = now
+        self._last_depth = depth
+        if depth > self.max_depth:
+            self.max_depth = depth
 
 
 def simulate(
@@ -199,6 +418,8 @@ def simulate(
     runner: Optional[ExperimentRunner] = None,
     max_steps: Optional[int] = None,
     fail_fast: bool = False,
+    trace_sink: Optional[TraceSink] = None,
+    keep_records: bool = True,
 ) -> ServingReport:
     """Run the arrival stream to completion and return the report.
 
@@ -225,6 +446,20 @@ def simulate(
     attainment can no longer reach ``slo.min_attainment``; the returned
     report then carries partially-stamped records, still fails
     :meth:`ServingReport.meets_slo`, and sets ``early_exit``.
+
+    Streaming output: ``trace_sink`` (a path or a file-like object)
+    receives each request's trace-CSV row the moment the request is fully
+    stamped — byte-identical to :meth:`ServingReport.to_csv`, rows in
+    arrival order.  ``keep_records=False`` additionally drops each record
+    after streaming it, so a million-request run holds O(in-flight batch)
+    record state: the report then carries empty ``records`` but exact
+    :class:`repro.serving.metrics.StreamedMetrics` reservoirs, and every
+    aggregate metric (percentiles, attainment, goodput, queue depth)
+    matches the in-memory run bit for bit.  With ``keep_records=False`` a
+    non-list ``requests`` iterable is consumed lazily (it must already be
+    sorted), so even the arrival stream never materializes; lazy streams
+    cannot be combined with ``fail_fast`` (its attainment arithmetic
+    needs the total request count up front).
     """
     scheduler = scheduler if scheduler is not None else FCFSScheduler()
     if scheduler.pending:
@@ -238,67 +473,147 @@ def simulate(
     else:
         cost = BackendCostModel(backend, runner=runner)
 
-    records = _ordered_records(requests)
-    if not records:
+    source = _arrival_source(requests, keep_records)
+    if source.peek() is None:
         raise ValueError("cannot simulate an empty request stream")
-    total = len(records)
-    arrivals = deque(records)
+    total = source.total
+    if fail_fast and total is None:
+        raise ValueError(
+            "fail_fast needs the total request count; pass a list instead of "
+            "a lazy stream (or keep_records=True to materialize it)"
+        )
     # Resolve the display name (and fail fast on an OOM payload) up front.
-    backend_name = cost.profile(records[0].request).backend_name
+    backend_name = cost.profile(source.first_request).backend_name
 
+    metrics: Optional[StreamedMetrics] = None
+    queue_stats: Optional[_QueueDepthStats] = None
+    streamer: Optional[TraceStreamer] = None
+    # Registered-but-unfinished records, tracked only when an early exit
+    # could leave some behind (metrics must still count them); with no
+    # sink the reorder buffer is pure overhead, so metrics-only runs feed
+    # the reservoirs directly at finish time instead.
+    live: Optional[dict] = None
+    if not keep_records:
+        metrics = StreamedMetrics(slo_met=0 if slo is not None else None)
+        queue_stats = _QueueDepthStats()
+    if trace_sink is not None:
+        observers = ()
+        if metrics is not None:
+            observers = (
+                lambda record, index: metrics.add_sample(metric_sample(record, slo)),
+            )
+        streamer = TraceStreamer(
+            trace_sink,
+            TRACE_CSV_FIELDS,
+            lambda record, index: trace_values(record, slo),
+            observers,
+        )
+    elif metrics is not None and fail_fast:
+        live = {}
+
+    queue = EventQueue()
     now = 0.0
     busy = 0.0
     num_events = 0
     missed = 0
     early_exit = False
     queue_depth: List[Tuple[float, int]] = []
-    while arrivals or scheduler.pending:
-        num_events += 1
-        while arrivals and arrivals[0].arrival_s <= now:
-            scheduler.enqueue(arrivals.popleft(), now)
-        horizon = arrivals[0].arrival_s if arrivals else None
-        occupancy = scheduler.next_occupancy(
-            now, cost, horizon=horizon, max_steps=max_steps
-        )
-        # Sample *after* planning, so a request just placed on the device
-        # no longer counts as waiting during the occupancy it started.
-        queue_depth.append((now, scheduler.waiting))
-        if occupancy is None:
-            if not arrivals:
-                if scheduler.pending:
-                    raise RuntimeError(
-                        f"scheduler {scheduler.name!r} reports {scheduler.pending} "
-                        "pending requests but planned no work"
-                    )
+    try:
+        # ``head_time`` is the sources' attribute form of ``peek()`` — the
+        # loop consults it several times per event, so it reads the
+        # attribute directly.
+        while source.head_time is not None or scheduler.pending:
+            num_events += 1
+            while True:
+                due = source.head_time
+                if due is None or due > now:
+                    break
+                record = source.pop()
+                scheduler.enqueue(record, now)
+                if streamer is not None:
+                    streamer.register(record)
+                elif live is not None:
+                    live[id(record)] = record
+            horizon = source.head_time
+            occupancy = scheduler.next_occupancy(
+                now, cost, horizon=horizon, max_steps=max_steps
+            )
+            # Sample *after* planning, so a request just placed on the device
+            # no longer counts as waiting during the occupancy it started.
+            if queue_stats is not None:
+                queue_stats.add(now, scheduler.waiting)
+            else:
+                queue_depth.append((now, scheduler.waiting))
+            if occupancy is None:
+                if horizon is None:
+                    if scheduler.pending:
+                        raise RuntimeError(
+                            f"scheduler {scheduler.name!r} reports "
+                            f"{scheduler.pending} pending requests but "
+                            "planned no work"
+                        )
+                    break
+                now = horizon
+                continue
+            if occupancy.seconds < 0:
+                raise ValueError("occupancy duration must be non-negative")
+            # The single device carries one occupancy at a time, so the
+            # heap holds at most one completion — but routing it through
+            # the shared EventQueue keeps both loops on one event core
+            # (and on the exact same floats: the popped time is the pushed
+            # `occupancy.end_time(now)`, untouched).
+            queue.push(occupancy.end_time(now), COMPLETION)
+            busy += occupancy.seconds
+            now = queue.pop()[0]
+            for record in occupancy.completed:
+                record.finish_s = now
+                if fail_fast and not slo.met_by(record):
+                    missed += 1
+                if streamer is not None:
+                    streamer.finish(record)
+                elif metrics is not None:
+                    metrics.fold(record, slo)
+                    if live is not None:
+                        del live[id(record)]
+            # Even if every not-yet-judged request met the SLO, attainment
+            # could not reach the threshold: stop burning events on a probe
+            # that is already decided (the report still reports the failure).
+            if fail_fast and missed and (total - missed) / total < slo.min_attainment:
+                early_exit = True
                 break
-            now = arrivals[0].arrival_s
-            continue
-        if occupancy.seconds < 0:
-            raise ValueError("occupancy duration must be non-negative")
-        now = occupancy.end_time(now)
-        busy += occupancy.seconds
-        for record in occupancy.completed:
-            record.finish_s = now
-            if fail_fast and not slo.met_by(record):
-                missed += 1
-        # Even if every not-yet-judged request met the SLO, attainment
-        # could not reach the threshold: stop burning events on a probe
-        # that is already decided (the report still reports the failure).
-        if fail_fast and missed and (total - missed) / total < slo.min_attainment:
-            early_exit = True
-            break
-    sample = (now, scheduler.waiting)
-    if not queue_depth or queue_depth[-1] != sample:
-        queue_depth.append(sample)
+        sample = (now, scheduler.waiting)
+        if queue_stats is not None:
+            queue_stats.add(*sample)
+        elif not queue_depth or queue_depth[-1] != sample:
+            queue_depth.append(sample)
+        if streamer is not None:
+            streamer.close(tail=source.tail())
+        elif metrics is not None:
+            # No sink, so no reorder buffer ran: count whatever an early
+            # exit left unfinished or undelivered, exactly as the
+            # streamer's close() would have.
+            if live:
+                for record in live.values():
+                    metrics.fold(record, slo)
+            for record in source.tail():
+                metrics.fold(record, slo)
+    finally:
+        if streamer is not None:
+            streamer.release()
+
+    if metrics is not None:
+        metrics.queue_depth_area = queue_stats.area
+        metrics.max_queue_depth = queue_stats.max_depth
 
     return ServingReport(
         backend_name=backend_name,
         scheduler_name=scheduler.name,
-        records=records,
+        records=source.records if keep_records else [],
         makespan_s=now,
         busy_s=busy,
         queue_depth=queue_depth,
         slo=slo,
         num_events=num_events,
         early_exit=early_exit,
+        streamed=metrics,
     )

@@ -24,7 +24,7 @@ from __future__ import annotations
 import csv
 import os
 import random
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Iterator, List, Optional, Sequence, Union
 
 from repro.api.request import InferenceRequest
 from repro.serving.request import ServingRequest
@@ -57,12 +57,44 @@ class WorkloadGenerator:
             raise ValueError("num_requests must be at least 1")
         rng = random.Random(self.seed)
         times = self._arrival_times(num_requests, rng)
+        payload = self.payload
+        if isinstance(payload, InferenceRequest):
+            return [
+                ServingRequest(when, index, payload)
+                for index, when in enumerate(times)
+            ]
         return [
-            ServingRequest(
-                arrival_s=when, request_id=index, request=self._payload(rng, index)
-            )
+            ServingRequest(when, index, payload(rng, index))
             for index, when in enumerate(times)
         ]
+
+    def stream(self, num_requests: int) -> Iterator[ServingRequest]:
+        """Lazy :meth:`generate`: the same arrivals, yielded one at a time.
+
+        Arrival times are still drawn up front (they are cheap floats and
+        the RNG consumes them before any payload draw, exactly as in
+        :meth:`generate`), but the per-request payloads — the bulky part
+        of a heterogeneous stream — are built only as the simulator pulls
+        them.  Feeding ``stream(n)`` to a ``keep_records=False``
+        simulation keeps whole-stream state out of memory while producing
+        the byte-identical trace of ``generate(n)``.
+        """
+        if num_requests < 1:
+            raise ValueError("num_requests must be at least 1")
+        rng = random.Random(self.seed)
+        times = self._arrival_times(num_requests, rng)
+        payload = self.payload
+        if isinstance(payload, InferenceRequest):
+            # A constant payload skips the per-item dispatch entirely —
+            # this is the million-request hot path.
+            return (
+                ServingRequest(when, index, payload)
+                for index, when in enumerate(times)
+            )
+        return (
+            ServingRequest(when, index, payload(rng, index))
+            for index, when in enumerate(times)
+        )
 
     def _payload(self, rng: random.Random, index: int) -> InferenceRequest:
         if isinstance(self.payload, InferenceRequest):

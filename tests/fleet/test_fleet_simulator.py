@@ -177,3 +177,17 @@ def test_build_fleet_shares_one_runner_by_default():
     fleet = build_fleet([backend] * 4)
     simulate_fleet(_arrivals([0.0] * 8), fleet, JoinShortestQueueRouter())
     assert backend.calls == 1
+
+
+def test_rejected_call_does_not_poison_the_router():
+    """Validation failures must leave the router reusable: it routed
+    nothing, so claiming it would only waste a fresh instance."""
+    router = JoinShortestQueueRouter()
+    with pytest.raises(ValueError, match="empty request stream"):
+        simulate_fleet([], build_fleet([ToyBackend()]), router)
+    with pytest.raises(ValueError, match="empty fleet"):
+        simulate_fleet(_arrivals([0.0]), [], router)
+    assert not router.used
+    report = simulate_fleet(_arrivals([0.0]), build_fleet([ToyBackend()]), router)
+    assert router.used
+    assert report.num_requests == 1

@@ -1,0 +1,150 @@
+"""Fleet streaming battery: byte identity across schedulers x routers.
+
+Same contract as the single-device streaming tests, with the fleet's
+extra column: the bytes streamed to the sink (device assignment included)
+must equal ``FleetReport.to_csv()`` of the in-memory run, for every
+router and scheduler, coalescing on or off, and a ``keep_records=False``
+run must answer fleet-wide and per-device aggregates identically.
+"""
+
+import io
+import random
+
+import pytest
+
+from serving_toys import ToyBackend
+
+from repro.api import InferenceRequest
+from repro.fleet import ROUTERS, build_fleet, get_router, simulate_fleet
+from repro.serving import (
+    ContinuousBatchScheduler,
+    FCFSScheduler,
+    PoissonWorkload,
+    SLOSpec,
+    StaticBatchScheduler,
+)
+
+PAYLOAD = InferenceRequest(model="opt-6.7b", seq_len=500, gen_tokens=24)
+SLO = SLOSpec(ttft_s=10.0, e2e_s=60.0)
+
+
+def _mixed_payload(rng: random.Random, index: int) -> InferenceRequest:
+    return PAYLOAD.with_overrides(gen_tokens=rng.choice([1, 7, 24, 64]))
+
+
+SCHEDULERS = {
+    "fcfs": FCFSScheduler,
+    "static": lambda: StaticBatchScheduler(max_batch=4),
+    "continuous": lambda: ContinuousBatchScheduler(max_batch=4),
+}
+
+
+def _arrivals():
+    return PoissonWorkload(6.0, _mixed_payload, seed=11).generate(150)
+
+
+def _run(arrivals, scheduler_factory, router_name, **kwargs):
+    fleet = build_fleet(
+        [ToyBackend(ttft=1.0, step=0.1)] * 4, scheduler_factory=scheduler_factory
+    )
+    return simulate_fleet(
+        arrivals, fleet, get_router(router_name), slo=SLO, **kwargs
+    )
+
+
+@pytest.mark.parametrize("router_name", sorted(ROUTERS))
+@pytest.mark.parametrize("max_steps", [None, 1])
+def test_streamed_fleet_trace_is_byte_identical_to_to_csv(router_name, max_steps):
+    arrivals = _arrivals()
+    factory = SCHEDULERS["continuous"]
+    reference = _run(arrivals, factory, router_name, max_steps=max_steps)
+    sink = io.StringIO()
+    _run(arrivals, factory, router_name, max_steps=max_steps, trace_sink=sink)
+    assert sink.getvalue() == reference.to_csv()
+
+
+@pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+@pytest.mark.parametrize("router_name", sorted(ROUTERS))
+def test_record_dropping_fleet_streams_the_same_bytes(scheduler_name, router_name):
+    arrivals = _arrivals()
+    factory = SCHEDULERS[scheduler_name]
+    reference = _run(arrivals, factory, router_name)
+    sink = io.StringIO()
+    dropped = _run(
+        arrivals, factory, router_name, trace_sink=sink, keep_records=False
+    )
+    assert sink.getvalue() == reference.to_csv()
+    assert dropped.records == []
+    assert dropped.assignments == reference.assignments
+
+
+@pytest.mark.parametrize("router_name", sorted(ROUTERS))
+def test_streamed_fleet_aggregates_match_the_in_memory_report(router_name):
+    arrivals = _arrivals()
+    factory = SCHEDULERS["continuous"]
+    reference = _run(arrivals, factory, router_name)
+    dropped = _run(arrivals, factory, router_name, keep_records=False)
+    assert dropped.streamed is not None
+    assert dropped.num_requests == reference.num_requests
+    assert dropped.num_completed == reference.num_completed
+    for metric in ("ttft", "tpot", "e2e", "queue_wait"):
+        assert dropped.percentiles(metric) == reference.percentiles(metric)
+    assert dropped.throughput_rps == reference.throughput_rps
+    assert dropped.slo_attainment() == reference.slo_attainment()
+    assert dropped.goodput_rps() == reference.goodput_rps()
+    assert dropped.utilizations == reference.utilizations
+    assert dropped.imbalance == reference.imbalance
+    # Per-device breakdowns come from per-device streamed accumulators.
+    assert dropped.requests_per_device == reference.requests_per_device
+    for mine, theirs in zip(dropped.device_reports, reference.device_reports):
+        assert mine.num_completed == theirs.num_completed
+        assert mine.percentiles("e2e") == theirs.percentiles("e2e")
+        assert mine.mean_queue_depth == pytest.approx(theirs.mean_queue_depth)
+        assert mine.max_queue_depth == theirs.max_queue_depth
+
+
+def test_record_dropping_fleet_report_refuses_to_csv():
+    dropped = _run(_arrivals(), FCFSScheduler, "jsq", keep_records=False)
+    with pytest.raises(ValueError, match="keep_records=False"):
+        dropped.to_csv()
+
+
+def test_fleet_trace_sink_accepts_a_path(tmp_path):
+    arrivals = _arrivals()
+    reference = _run(arrivals, FCFSScheduler, "jsq")
+    path = tmp_path / "fleet_trace.csv"
+    _run(arrivals, FCFSScheduler, "jsq", trace_sink=str(path), keep_records=False)
+    assert path.read_text() == reference.to_csv()
+
+
+def test_lazy_generator_stream_matches_the_materialized_fleet_run():
+    workload = PoissonWorkload(6.0, _mixed_payload, seed=11)
+    reference = _run(workload.generate(150), FCFSScheduler, "jsq")
+    sink = io.StringIO()
+    dropped = _run(
+        workload.stream(150),
+        FCFSScheduler,
+        "jsq",
+        trace_sink=sink,
+        keep_records=False,
+    )
+    assert sink.getvalue() == reference.to_csv()
+    assert dropped.num_requests == reference.num_requests
+
+
+def test_fleet_early_exit_trace_still_covers_every_request():
+    slo = SLOSpec(e2e_s=2.0, min_attainment=0.99)
+    arrivals = PoissonWorkload(40.0, PAYLOAD, seed=3).generate(200)
+
+    def run(**kwargs):
+        fleet = build_fleet([ToyBackend(ttft=1.0, step=0.1)] * 2)
+        return simulate_fleet(
+            arrivals, fleet, get_router("jsq"), slo=slo, fail_fast=True, **kwargs
+        )
+
+    reference = run()
+    assert reference.early_exit
+    sink = io.StringIO()
+    run(trace_sink=sink)
+    assert sink.getvalue() == reference.to_csv()
+    assert sink.getvalue().count("\n") == len(arrivals) + 1

@@ -1,0 +1,71 @@
+"""The heap-driven event core: ordering contract and due-event draining."""
+
+import pytest
+
+from repro.serving import ARRIVAL, COMPLETION, PLANNING, EventQueue
+
+
+def test_events_pop_in_time_order():
+    queue = EventQueue()
+    queue.push(3.0)
+    queue.push(1.0)
+    queue.push(2.0)
+    assert [entry[0] for entry in (queue.pop(), queue.pop(), queue.pop())] == [
+        1.0,
+        2.0,
+        3.0,
+    ]
+
+
+def test_simultaneous_events_order_by_kind_then_index():
+    """At one instant: completions < arrivals < planning, then device index —
+    the linear scan's tie-break, now encoded in the heap entries."""
+    queue = EventQueue()
+    queue.push(5.0, PLANNING, 0)
+    queue.push(5.0, ARRIVAL, 2)
+    queue.push(5.0, COMPLETION, 7)
+    queue.push(5.0, COMPLETION, 3)
+    queue.push(5.0, ARRIVAL, 1)
+    drained = [(kind, index) for _, kind, index, _ in queue.pop_due(5.0)]
+    assert drained == [
+        (COMPLETION, 3),
+        (COMPLETION, 7),
+        (ARRIVAL, 1),
+        (ARRIVAL, 2),
+        (PLANNING, 0),
+    ]
+
+
+def test_equal_entries_preserve_push_order():
+    """The sequence number breaks exact ties first-pushed-first-popped."""
+    queue = EventQueue()
+    for tag in range(4):
+        queue.push(1.0, COMPLETION, 0)
+    seqs = [seq for _, _, _, seq in queue.pop_due(1.0)]
+    assert seqs == sorted(seqs)
+
+
+def test_pop_due_leaves_future_events_in_place():
+    queue = EventQueue()
+    queue.push(1.0, COMPLETION, 0)
+    queue.push(2.0, COMPLETION, 1)
+    assert [index for _, _, index, _ in queue.pop_due(1.5)] == [0]
+    assert len(queue) == 1
+    assert queue.peek_time() == 2.0
+
+
+def test_peek_time_and_len_reflect_the_heap():
+    queue = EventQueue()
+    assert queue.peek_time() is None
+    assert not queue
+    queue.push(4.0)
+    queue.push(2.0)
+    assert queue.peek_time() == 2.0
+    assert len(queue) == 2
+    queue.pop()
+    assert queue.peek_time() == 4.0
+
+
+def test_pop_on_empty_queue_raises():
+    with pytest.raises(IndexError):
+        EventQueue().pop()

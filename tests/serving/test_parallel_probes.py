@@ -1,0 +1,94 @@
+"""Parallel probe execution: speculative search, serial results.
+
+``parallel=N`` may only change *when* probe simulations run, never what
+the search observes: the audit trail (every probe, in order, with its
+verdict), the returned configuration and its report must be identical to
+the serial search.
+"""
+
+import pytest
+
+from serving_toys import ToyBackend
+
+from repro.api import ExperimentRunner, InferenceRequest
+from repro.fleet import size_fleet
+from repro.serving import SLOSpec, find_max_qps
+from repro.serving.probes import ProbePool, probe_width
+
+PAYLOAD = InferenceRequest(model="opt-6.7b", seq_len=500, gen_tokens=10)
+SLO = SLOSpec(e2e_s=10.0, min_attainment=0.9)
+
+
+def _capacity(parallel):
+    return find_max_qps(
+        ToyBackend(),
+        PAYLOAD,
+        SLO,
+        num_requests=80,
+        seed=7,
+        runner=ExperimentRunner(),
+        parallel=parallel,
+    )
+
+
+@pytest.mark.parametrize("parallel", [2, 4])
+def test_parallel_capacity_search_matches_the_serial_trail(parallel):
+    serial = _capacity(1)
+    speculative = _capacity(parallel)
+    assert speculative.probes == serial.probes
+    assert speculative.max_qps == serial.max_qps
+    assert speculative.report.to_csv() == serial.report.to_csv()
+
+
+def _sizing(parallel):
+    return size_fleet(
+        ToyBackend(),
+        PAYLOAD,
+        SLO,
+        target_qps=4.0,
+        num_requests=80,
+        seed=7,
+        runner=ExperimentRunner(),
+        parallel=parallel,
+    )
+
+
+@pytest.mark.parametrize("parallel", [2, 4])
+def test_parallel_sizing_search_matches_the_serial_trail(parallel):
+    serial = _sizing(1)
+    speculative = _sizing(parallel)
+    assert speculative.probes == serial.probes
+    assert speculative.num_replicas == serial.num_replicas
+    assert speculative.sharding == serial.sharding
+    assert speculative.report.to_csv() == serial.report.to_csv()
+
+
+def test_parallel_must_be_positive():
+    with pytest.raises(ValueError, match="parallel"):
+        _capacity(0)
+    with pytest.raises(ValueError, match="parallel"):
+        _sizing(0)
+
+
+def test_probe_width_is_capped_at_the_cpu_count():
+    import os
+
+    assert probe_width(1) == 1
+    assert probe_width(10_000) == (os.cpu_count() or 1)
+
+
+def test_probe_pool_memoizes_and_discards_speculation():
+    calls = []
+
+    def fn(key):
+        calls.append(key)
+        return key * 2
+
+    pool = ProbePool(fn, width=2)
+    try:
+        pool.prefetch(3)
+        assert pool.get(3) == 6
+        assert pool.get(3) == 6
+        assert calls.count(3) == 1
+    finally:
+        pool.close()

@@ -120,3 +120,54 @@ def test_search_shares_one_cost_model_across_probes():
     info = cost.cache_info()
     assert info["latency_misses"] <= 3
     assert info["latency_hits"] > info["latency_misses"]
+
+
+def test_intern_table_is_lru_bounded_and_counts_evictions():
+    """Distinct payload objects beyond the cap evict oldest-used first;
+    evictions never force a re-profile (the keyed cache still answers)."""
+    cost = BackendCostModel(ToyBackend(), intern_cache_size=2)
+    first = PAYLOAD.with_overrides(seq_len=100)
+    second = PAYLOAD.with_overrides(seq_len=200)
+    third = PAYLOAD.with_overrides(seq_len=100)  # equal to first, distinct object
+    cost.ttft(first)
+    cost.ttft(second)
+    assert cost.cache_info()["latency_evictions"] == 0
+    cost.ttft(third)  # interning a third object evicts `first`
+    info = cost.cache_info()
+    assert info["latency_evictions"] == 1
+    # `third` equals `first`, so the keyed cache answered without profiling.
+    assert info["latency_misses"] == 2
+    # Re-pricing the evicted object re-interns it (evicting `second`) but
+    # is still a keyed-cache hit, not a backend re-evaluation.
+    cost.ttft(first)
+    info = cost.cache_info()
+    assert info["latency_evictions"] == 2
+    assert info["latency_misses"] == 2
+
+
+def test_intern_cache_size_must_be_positive():
+    with pytest.raises(ValueError, match="intern_cache_size"):
+        BackendCostModel(ToyBackend(), intern_cache_size=0)
+
+
+def test_percentiles_sort_each_metric_exactly_once(monkeypatch):
+    """p50/p95/p99 — and any repeat query — share one sort per metric."""
+    import repro.serving.metrics as metrics_mod
+
+    arrivals = PoissonWorkload(3.0, PAYLOAD, seed=1).generate(60)
+    report = simulate(arrivals, ToyBackend(), FCFSScheduler(), slo=SLO)
+    sort_calls = []
+    real_sorted = sorted
+
+    def counting_sorted(values, *args, **kwargs):
+        sort_calls.append(1)
+        return real_sorted(values, *args, **kwargs)
+
+    monkeypatch.setattr(metrics_mod, "sorted", counting_sorted, raising=False)
+    report.percentiles("ttft")
+    report.percentiles("ttft")
+    assert len(sort_calls) == 1
+    for metric in ("tpot", "e2e", "queue_wait"):
+        report.percentiles(metric)
+        report.percentiles(metric)
+    assert len(sort_calls) == 4
