@@ -1,0 +1,121 @@
+"""Flash-backed KV memory: OOM, the flash rescue, and the sharded fleet.
+
+The paper's central trade is that a working set which cannot live in
+on-chip DRAM *can* live on flash — at a latency price.  This script
+plays that trade out for the KV cache with `repro.memory`:
+
+1. a prompt whose KV footprint fits neither DRAM nor flash is a true
+   OOM — the scheduler refuses it up front,
+2. the same DRAM budget plus a flash spill area admits the whole
+   workload: the run completes, slower, and the report itemizes the
+   spill/refill/read-through traffic that paid for it,
+3. `size_fleet(memory=...)` scales the `MemorySpec` with each sharding
+   candidate — a tp4 group pools four chips' DRAM and flash — and picks
+   the fleet whose aggregate memory makes the SLO.
+
+Run with::
+
+    PYTHONPATH=src python examples/kv_spill.py
+
+Everything is seeded — two runs print identical numbers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.api import InferenceRequest
+from repro.fleet import ShardingSpec, size_fleet
+from repro.memory import MemorySpec
+from repro.serving import ContinuousBatchScheduler, PoissonWorkload, SLOSpec, simulate
+from repro.units import MiB
+
+SEED = 3
+#: opt-6.7b at 16-bit KV is 512 KiB per token: a 500-token prompt
+#: arrives owing 250 MiB of residency before the first decode step.
+PAYLOAD = InferenceRequest(model="opt-6.7b", seq_len=500, gen_tokens=24)
+
+
+def _mixed(rng: random.Random, index: int) -> InferenceRequest:
+    """Stagger completions so freed DRAM refills spilled neighbours."""
+    return PAYLOAD.with_overrides(gen_tokens=rng.choice([8, 24, 40, 64]))
+
+
+def _run(memory: MemorySpec | None, num_requests: int = 24):
+    return simulate(
+        PoissonWorkload(1.0, _mixed, seed=SEED).generate(num_requests),
+        "cambricon",
+        ContinuousBatchScheduler(max_batch=4, memory=memory),
+    )
+
+
+def main() -> None:
+    # -- 1. no flash: a 256 MiB prompt cannot enter 128 MiB of DRAM ---------
+    flashless = MemorySpec(dram_bytes=128 * MiB, spill_capacity_bytes=0)
+    try:
+        _run(flashless, num_requests=1)
+    except ValueError as error:
+        print(f"Flashless 128 MiB chip: OOM as expected\n  ({error})\n")
+
+    # -- 2. flash spill space turns the OOM into a latency price ------------
+    plain = _run(None)
+    tight = _run(MemorySpec(dram_bytes=384 * MiB))  # ~1.5 prompts of DRAM
+    roomy = _run(MemorySpec(dram_bytes=2048 * MiB))
+    print("One device, 24 requests, DRAM budget vs flash traffic:")
+    for label, report in (("unmodeled", plain), ("2 GiB", roomy), ("384 MiB", tight)):
+        memory = report.memory
+        if memory is None:
+            print(f"  {label:9s}: makespan {report.makespan_s:7.1f} s")
+            continue
+        print(
+            f"  {label:9s}: makespan {report.makespan_s:7.1f} s, "
+            f"spilled {memory.spill_bytes / MiB:7.1f} MiB "
+            f"({memory.spill_events} events), "
+            f"refilled {memory.refill_bytes / MiB:7.1f} MiB, "
+            f"flash reads {memory.flash_pages_read} pages, "
+            f"DRAM high water {memory.dram_high_water_bytes / MiB:.0f} MiB"
+        )
+    print()
+
+    # -- 3. sharding pools memory: size_fleet skips the chip that OOMs ------
+    # One chip: 128 MiB DRAM + 64 MiB of spill cannot hold a 250 MiB
+    # prompt.  Four chips: the scaled spec (512 + 256 MiB) admits two at
+    # a time and pays flash for the decode growth beyond them.
+    kv_tight = MemorySpec(dram_bytes=128 * MiB, spill_capacity_bytes=64 * MiB)
+    slo = SLOSpec(e2e_s=1000.0, min_attainment=0.9)
+    sizing = size_fleet(
+        "cambricon",
+        _mixed,
+        slo,
+        target_qps=1.0,
+        shardings=[ShardingSpec(), ShardingSpec(tensor_parallel=4)],
+        scheduler_factory=lambda memory=None: ContinuousBatchScheduler(
+            max_batch=2, memory=memory
+        ),
+        memory=kv_tight,
+        num_requests=30,
+        max_replicas=8,
+        seed=SEED,
+    )
+    spec = sizing.sharding
+    print(
+        f"Sizing with a 128 MiB-per-chip MemorySpec: "
+        f"{sizing.num_replicas} replicas x (tp{spec.tensor_parallel} "
+        f"pp{spec.pipeline_parallel}) = {sizing.num_chips} chips"
+    )
+    for probe in sizing.probes:
+        tag = "meets SLO" if probe.met else "misses SLO (or OOM: skipped)"
+        print(
+            f"  probe tp{probe.sharding.tensor_parallel} "
+            f"x {probe.replicas} replicas: {tag}"
+        )
+    memories = [r.memory for r in sizing.report.device_reports]
+    print(
+        f"  winning fleet spilled {sum(m.spill_bytes for m in memories) / MiB:.1f} "
+        f"MiB and refilled {sum(m.refill_bytes for m in memories) / MiB:.1f} MiB "
+        "across its replicas"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -44,6 +44,14 @@ Both event loops fast-forward through provably uneventful decode
 stretches (occupancy coalescing), so million-step traces simulate in
 seconds while staying byte-identical to the step-by-step reference;
 ``benchmarks/perf/`` tracks the trajectory in ``BENCH_serving.json``.
+
+:mod:`repro.memory` models the flash-backed KV memory under all of it: a
+:class:`MemorySpec` (DRAM budget + flash geometry) attached to a
+continuous-batching scheduler makes admission capacity-aware — cold KV
+spills to flash through a write-coalescing cache and a page-mapped FTL,
+refills pay modeled channel time, sharding multiplies a replica's
+capacity (rescuing OOM configs in ``size_fleet``), and the ``headroom``
+router steers arrivals to the replica with the most free KV DRAM.
 """
 
 from repro.api import (
@@ -96,6 +104,7 @@ from repro.fleet import (
     FleetSizingResult,
     JoinShortestQueueRouter,
     LeastWorkRouter,
+    MemoryHeadroomRouter,
     RoundRobinRouter,
     Router,
     SLOAwareRouter,
@@ -105,8 +114,14 @@ from repro.fleet import (
     simulate_fleet,
     size_fleet,
 )
+from repro.memory import (
+    KVFootprint,
+    KVMemoryModel,
+    MemoryReport,
+    MemorySpec,
+)
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
@@ -176,9 +191,15 @@ __all__ = [
     "JoinShortestQueueRouter",
     "LeastWorkRouter",
     "SLOAwareRouter",
+    "MemoryHeadroomRouter",
     "ShardedBackend",
     "ShardingSpec",
     "build_fleet",
     "simulate_fleet",
     "size_fleet",
+    # flash-backed KV memory model
+    "MemorySpec",
+    "KVFootprint",
+    "KVMemoryModel",
+    "MemoryReport",
 ]

@@ -57,6 +57,11 @@ class CambriconBackend:
     energy: bool = True
     include_prefill: bool = True
     name: str = "cambricon"
+    #: Flash capacity multiplier: ``n`` means the weights may occupy ``n``
+    #: chips' worth of flash.  Set by :meth:`with_capacity_scale` when a
+    #: :class:`repro.fleet.sharding.ShardedBackend` rescues an OOM config
+    #: by dividing the weight image across its replica's chips.
+    capacity_scale: int = 1
 
     # -- runner integration --------------------------------------------------
     @property
@@ -76,7 +81,10 @@ class CambriconBackend:
                 f"|sync={engine.sync_stages_per_layer}|sim={engine.use_simulator}"
             )
         body = "per-request" if config is None else repr(config)
-        return f"{self.name}[{body}{flags}|energy={self.energy}|prefill={self.include_prefill}]"
+        return (
+            f"{self.name}[{body}{flags}|energy={self.energy}"
+            f"|prefill={self.include_prefill}|cap={self.capacity_scale}]"
+        )
 
     def normalize_request(self, request: InferenceRequest) -> InferenceRequest:
         """Drop fields this instance ignores so memoization can collapse them."""
@@ -90,6 +98,25 @@ class CambriconBackend:
             request = request.with_overrides(weight_bits=None, activation_bits=None)
         return request
 
+    def with_capacity_scale(self, num_devices: int) -> "CambriconBackend":
+        """A twin whose flash array holds ``num_devices`` chips' capacity.
+
+        The sharding rescue hook: only the *capacity* grows (more blocks
+        per plane) — channel counts, bandwidths and timings stay those of
+        one chip, so the latency transform remains the sharded backend's
+        job.  A backend built around a pre-built ``engine`` is returned
+        unchanged (its config is pinned; the rescue cannot apply).
+        """
+        if isinstance(num_devices, bool) or not isinstance(num_devices, int):
+            raise TypeError(f"num_devices must be an int, got {num_devices!r}")
+        if num_devices < 1:
+            raise ValueError("num_devices must be at least 1")
+        if self.engine is not None or num_devices == 1:
+            return self
+        from dataclasses import replace
+
+        return replace(self, capacity_scale=self.capacity_scale * num_devices)
+
     # -- execution -----------------------------------------------------------
     def _engine_for(self, request: InferenceRequest) -> InferenceEngine:
         if self.engine is not None:
@@ -99,6 +126,17 @@ class CambriconBackend:
             config = config.with_quantization(
                 request.weight_bits or config.weight_bits,
                 request.activation_bits or config.activation_bits,
+            )
+        if self.capacity_scale > 1:
+            from dataclasses import replace
+
+            config = replace(
+                config,
+                flash=replace(
+                    config.flash,
+                    blocks_per_plane=config.flash.blocks_per_plane
+                    * self.capacity_scale,
+                ),
             )
         return InferenceEngine(config)
 

@@ -55,9 +55,11 @@ from repro.serving import (
 _CAMBRICON_CONFIGS = ("S", "M", "L")
 _BASELINE_BACKENDS = ("flexgen-ssd", "flexgen-dram", "mlc-llm")
 _SCHEDULERS = {
-    "fcfs": lambda args: FCFSScheduler(),
-    "static": lambda args: StaticBatchScheduler(max_batch=args.max_batch),
-    "continuous": lambda args: ContinuousBatchScheduler(max_batch=args.max_batch),
+    "fcfs": lambda args, memory=None: FCFSScheduler(),
+    "static": lambda args, memory=None: StaticBatchScheduler(max_batch=args.max_batch),
+    "continuous": lambda args, memory=None: ContinuousBatchScheduler(
+        max_batch=args.max_batch, memory=memory
+    ),
 }
 
 
@@ -181,6 +183,35 @@ def _serving_slo(args: argparse.Namespace) -> Optional[SLOSpec]:
         e2e_s=args.slo_e2e,
         min_attainment=args.slo_attainment,
     )
+
+
+def _serving_memory(args: argparse.Namespace):
+    """The per-device :class:`repro.memory.MemorySpec` the flags ask for.
+
+    ``--dram-gb`` / ``--flash`` carve a KV memory model out of the
+    ``--config`` hardware description; only the continuous scheduler
+    admits by footprint, so other schedulers reject the flags instead of
+    silently ignoring them.
+    """
+    if args.dram_gb is None and args.flash_gb is None:
+        return None
+    if args.scheduler != "continuous":
+        raise SystemExit(
+            "--dram-gb/--flash model KV admission for the continuous "
+            "scheduler; pass --scheduler continuous"
+        )
+    if args.dram_gb is not None and args.dram_gb <= 0:
+        raise SystemExit("--dram-gb must be positive")
+    if args.flash_gb is not None and args.flash_gb < 0:
+        raise SystemExit("--flash must be non-negative")
+    from repro.memory import MemorySpec
+
+    overrides = {}
+    if args.dram_gb is not None:
+        overrides["dram_bytes"] = int(args.dram_gb * (1 << 30))
+    if args.flash_gb is not None:
+        overrides["spill_capacity_bytes"] = int(args.flash_gb * (1 << 30))
+    return MemorySpec.from_config(get_config(args.config), **overrides)
 
 
 def _validate_trace_flags(args: argparse.Namespace) -> None:
@@ -326,6 +357,7 @@ def _serve_command(args: argparse.Namespace) -> int:
     if args.parallel != 1 and not args.find_max_qps:
         raise SystemExit("--parallel parallelizes --find-max-qps probes")
     slo = _serving_slo(args)
+    memory = _serving_memory(args)
     scheduler_factory = _SCHEDULERS[args.scheduler]
     runner = ExperimentRunner()
     cost = BackendCostModel(args.backend, runner=runner)
@@ -343,7 +375,7 @@ def _serve_command(args: argparse.Namespace) -> int:
             args.backend,
             payload,
             slo,
-            scheduler_factory=lambda: scheduler_factory(args),
+            scheduler_factory=lambda: scheduler_factory(args, memory),
             num_requests=100 if args.num_requests is None else args.num_requests,
             seed=args.seed,
             runner=runner,
@@ -371,7 +403,7 @@ def _serve_command(args: argparse.Namespace) -> int:
         report = simulate(
             arrivals,
             cost,
-            scheduler_factory(args),
+            scheduler_factory(args, memory),
             slo=slo,
             trace_sink=args.stream_trace,
             keep_records=args.stream_trace is None,
@@ -462,9 +494,16 @@ def _fleet_command(args: argparse.Namespace) -> int:
     if args.parallel != 1 and args.size_for_qps is None:
         raise SystemExit("--parallel parallelizes --size-for-qps probes")
     slo = _serving_slo(args)
+    memory = _serving_memory(args)
     runner = ExperimentRunner()
     sharding = ShardingSpec(tensor_parallel=args.tp, pipeline_parallel=args.pp)
-    scheduler_factory = lambda: _SCHEDULERS[args.scheduler](args)  # noqa: E731
+    # Each replica owns the DRAM/flash of all its chips (tp x pp of them);
+    # ``size_fleet`` re-derives the scaling itself per sharding candidate.
+    device_memory = None if memory is None else memory.scaled(sharding.num_devices)
+
+    def scheduler_factory(memory=device_memory):
+        return _SCHEDULERS[args.scheduler](args, memory)
+
     probe_rows = None
     cost_models: List[object] = []
 
@@ -489,6 +528,7 @@ def _fleet_command(args: argparse.Namespace) -> int:
             shardings=[sharding],
             scheduler_factory=scheduler_factory,
             router_factory=lambda: get_router(args.router),
+            memory=memory,
             num_requests=100 if args.num_requests is None else args.num_requests,
             seed=args.seed,
             max_replicas=args.max_replicas,
@@ -724,6 +764,18 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--max-batch", type=int, default=8,
         help="batch slots for static/continuous scheduling (default 8)",
+    )
+    parser.add_argument(
+        "--dram-gb", type=float, default=None, metavar="GIB",
+        help="model KV memory: per-chip DRAM budget in GiB (continuous "
+             "scheduler only; admission blocks and cold KV spills to flash "
+             "when it runs out)",
+    )
+    parser.add_argument(
+        "--flash-gb", "--flash", type=float, default=None, metavar="GIB",
+        dest="flash_gb",
+        help="model KV memory: cap the per-chip flash spill area at this "
+             "many GiB (default: whatever the --config flash array holds)",
     )
     parser.add_argument("--slo-ttft", type=float, default=None, help="TTFT SLO (s)")
     parser.add_argument(

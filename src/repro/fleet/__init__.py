@@ -11,7 +11,8 @@ the FlexGen offloading hosts, MLC-LLM — becomes a fleet building block:
 * a :class:`ShardingSpec` derives a tensor-/pipeline-sharded replica from
   a base backend as a pure per-phase latency transform;
 * a :class:`Router` assigns each arrival to a device — round-robin,
-  join-shortest-queue, least-work, or SLO/heterogeneity-aware;
+  join-shortest-queue, least-work, SLO/heterogeneity-aware, or
+  memory-headroom (most free KV DRAM);
 * :func:`simulate_fleet` merges the per-device timelines into one
   deterministic :class:`FleetReport` (aggregate percentiles and goodput,
   per-device utilization and queue depth, imbalance);
@@ -46,6 +47,7 @@ from repro.fleet.router import (
     ROUTERS,
     JoinShortestQueueRouter,
     LeastWorkRouter,
+    MemoryHeadroomRouter,
     RoundRobinRouter,
     Router,
     SLOAwareRouter,
@@ -64,6 +66,7 @@ __all__ = [
     "JoinShortestQueueRouter",
     "LeastWorkRouter",
     "SLOAwareRouter",
+    "MemoryHeadroomRouter",
     "ROUTERS",
     "get_router",
     "ShardingSpec",

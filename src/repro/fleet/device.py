@@ -108,6 +108,22 @@ class Device:
     def idle(self) -> bool:
         return self.busy_until is None
 
+    @property
+    def memory(self):
+        """This replica's KV memory model (None without one).
+
+        The scheduler owns the model; the device only surfaces it so
+        routers can steer by free DRAM and the fleet loop can snapshot
+        per-device :class:`repro.memory.MemoryReport` counters.
+        """
+        return getattr(self.scheduler, "memory", None)
+
+    @property
+    def free_dram_bytes(self) -> int:
+        """Free KV DRAM on this replica (0 without a memory model)."""
+        memory = self.memory
+        return 0 if memory is None else memory.pool.free_bytes
+
     # -- event-loop interface ------------------------------------------------
     def enqueue(self, record: RequestRecord, now: float) -> None:
         """An arrival routed here joins this device's waiting queue."""

@@ -8,7 +8,7 @@ cache).  All policies are deterministic: decisions are pure functions of
 the visible state with ties broken by device index, which is what keeps a
 seeded fleet trace byte-identical.
 
-Four policies are built in:
+Five policies are built in:
 
 * :class:`RoundRobinRouter` — cycle through devices regardless of state;
   the stateless baseline.
@@ -22,6 +22,11 @@ Four policies are built in:
   device.  On a heterogeneous fleet this is the policy that knows a slow
   device is slow, sending work there only when the fast queues are long
   enough to make it worthwhile.
+* :class:`MemoryHeadroomRouter` — most free KV DRAM
+  (:class:`repro.memory` models attached to the device schedulers),
+  falling back to shortest queue on ties or when no replica models
+  memory.  The policy that keeps one replica from spilling to flash
+  while its siblings sit on cold DRAM.
 """
 
 from __future__ import annotations
@@ -191,12 +196,46 @@ class SLOAwareRouter(Router):
         )
 
 
+class MemoryHeadroomRouter(Router):
+    """Most free KV DRAM, then fewest outstanding requests.
+
+    Reads each replica's :class:`repro.memory.KVMemoryModel` through
+    ``Device.free_dram_bytes``; replicas without a memory model score 0
+    headroom, so a memory-less fleet degrades to exact JSQ behaviour
+    (every headroom ties, the queue count decides).  Like every policy,
+    ties break to the smallest device index — lexicographic min over
+    ``(-headroom, outstanding)`` tuples keeps the scan's determinism.
+
+    Residency is read as-of the latest *planned* decode step.  A
+    coalesced occupancy books its whole window's KV growth at planning
+    time, so an arrival landing mid-window can see residency the
+    step-by-step reference has not booked yet: decisions are
+    deterministic per run, but byte-identity between ``max_steps=None``
+    and ``max_steps=1`` fleets is only guaranteed for this policy when
+    no replica carries a memory model (the tested battery) — pass
+    ``max_steps=1`` when comparing memory-model traces across runs.
+    """
+
+    name = "headroom"
+
+    def route(
+        self, record: RequestRecord, devices: Sequence[Device], now: float
+    ) -> int:
+        return self._argmin(
+            [
+                (-device.free_dram_bytes, device.outstanding)
+                for device in devices
+            ]
+        )
+
+
 #: Router factories by CLI/registry name.
 ROUTERS = {
     RoundRobinRouter.name: RoundRobinRouter,
     JoinShortestQueueRouter.name: JoinShortestQueueRouter,
     LeastWorkRouter.name: LeastWorkRouter,
     SLOAwareRouter.name: SLOAwareRouter,
+    MemoryHeadroomRouter.name: MemoryHeadroomRouter,
 }
 
 

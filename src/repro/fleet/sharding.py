@@ -17,10 +17,14 @@ out of base devices — ``tensor_parallel`` chips splitting every layer and
   ``step / p + handoff_s``.
 
 The transform is analytical and deliberately coarse: communication is a
-fixed latency per synchronization point (bandwidth folded in), and memory
-capacity is judged on the *base* device, so a model that does not fit on
-one chip is still reported OOM when sharded.  That keeps the sharded
-result an honest function of the base backend's own cost model.
+fixed latency per synchronization point (bandwidth folded in).  Memory
+capacity is judged *across the replica*: a spec of ``n`` chips divides
+the weight footprint ``n`` ways, so when the base device reports OOM the
+sharded backend re-runs it with ``n``-fold capacity (through the base's
+``with_capacity_scale`` hook, when it offers one) before applying the
+latency transform — this is how sharding rescues configs that cannot
+hold the model on one chip.  Backends without the hook keep the old
+behaviour: capacity judged on the base device, OOM passed through.
 
 The pipeline-parallel step clock is the *loaded-regime* figure by
 construction: it models token batches streaming through a full pipeline,
@@ -133,6 +137,8 @@ class ShardedBackend:
         self.spec = spec
         suffix = spec.label
         self.name = self.base.name if not suffix else f"{self.base.name}-{suffix}"
+        #: Lazily-built capacity-scaled twin for the OOM rescue path.
+        self._rescue: Backend = None
 
     # -- runner integration --------------------------------------------------
     @property
@@ -154,9 +160,19 @@ class ShardedBackend:
         if self.spec.is_trivial:
             return base
         if base.out_of_memory:
-            # Capacity is judged on the base device (see module docstring);
-            # only the display name changes.
-            return replace(base, backend_name=f"{base.backend_name} x{self.spec.label}")
+            # The replica's n chips hold n times the base capacity: retry
+            # on a capacity-scaled twin when the base backend offers one
+            # (the sharding rescue), otherwise pass the OOM through.
+            if self._rescue is None:
+                hook = getattr(self.base, "with_capacity_scale", None)
+                if hook is not None:
+                    self._rescue = hook(self.spec.num_devices)
+            if self._rescue is not None:
+                base = self._rescue.run(request)
+            if base.out_of_memory:
+                return replace(
+                    base, backend_name=f"{base.backend_name} x{self.spec.label}"
+                )
 
         ttft = self.spec.transform_ttft(base.time_to_first_token_s)
         step = self.spec.transform_step(base.decode_step_seconds)

@@ -422,6 +422,7 @@ def simulate_fleet(
             streamed = device_metrics[index]
             streamed.queue_depth_area = device.queue_stats.area
             streamed.max_queue_depth = device.queue_stats.max_depth
+        memory = device.memory
         device_reports.append(
             ServingReport(
                 backend_name=device.backend_name,
@@ -432,6 +433,7 @@ def simulate_fleet(
                 queue_depth=device.queue_depth,
                 slo=slo,
                 streamed=streamed,
+                memory=memory.report() if memory is not None else None,
             )
         )
     return FleetReport(

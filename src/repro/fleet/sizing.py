@@ -21,6 +21,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.api.runner import ExperimentRunner
 from repro.fleet.report import FleetReport
+from repro.memory import MemorySpec
 from repro.fleet.router import JoinShortestQueueRouter, Router
 from repro.fleet.sharding import ShardingSpec
 from repro.fleet.simulator import BackendLike, build_fleet, simulate_fleet
@@ -71,6 +72,7 @@ def size_fleet(
     shardings: Sequence[ShardingSpec] = (ShardingSpec(),),
     scheduler_factory: Callable[[], Scheduler] = FCFSScheduler,
     router_factory: Callable[[], Router] = JoinShortestQueueRouter,
+    memory: Optional[MemorySpec] = None,
     num_requests: int = 200,
     seed: int = 0,
     max_replicas: int = 64,
@@ -102,6 +104,18 @@ def size_fleet(
     and probes recorded — in the serial order, so the audit trail and
     the winning configuration are identical to ``parallel=1``.
 
+    With ``memory`` set, every replica's scheduler is built with a
+    :class:`repro.memory.MemorySpec` scaled to its sharding — a ``tp4``
+    replica owns four chips' DRAM and flash — so ``scheduler_factory``
+    must accept a ``memory=`` keyword
+    (:class:`repro.serving.scheduler.ContinuousBatchScheduler` does).
+    Probes that hit a capacity wall (model weights or a prompt's KV
+    footprint that "does not fit" anywhere) are recorded as unmet and
+    their sharding's remaining replica counts are skipped: adding
+    replicas never grows per-replica capacity, only sharding does.
+    This is how the search finds that an OOM single-chip configuration
+    becomes feasible at ``tp4`` — the capacity rescue.
+
     Raises :class:`ValueError` when no candidate meets the SLO within
     ``max_replicas`` replicas.
     """
@@ -119,17 +133,26 @@ def size_fleet(
     arrivals = PoissonWorkload(target_qps, payload, seed=seed).generate(num_requests)
     probes: List[SizingProbe] = []
 
-    def run_probe(replicas: int, sharding: ShardingSpec) -> FleetReport:
-        fleet = build_fleet(
-            [backend] * replicas,
-            scheduler_factory=scheduler_factory,
-            sharding=sharding,
-            runner=runner,
-            cost_cache=cost_cache,
-        )
-        return simulate_fleet(
-            arrivals, fleet, router_factory(), slo=slo, fail_fast=fail_fast
-        )
+    def run_probe(replicas: int, sharding: ShardingSpec) -> Optional[FleetReport]:
+        factory = scheduler_factory
+        if memory is not None:
+            spec = memory.scaled(sharding.num_devices)
+            factory = lambda: scheduler_factory(memory=spec)  # noqa: E731
+        try:
+            fleet = build_fleet(
+                [backend] * replicas,
+                scheduler_factory=factory,
+                sharding=sharding,
+                runner=runner,
+                cost_cache=cost_cache,
+            )
+            return simulate_fleet(
+                arrivals, fleet, router_factory(), slo=slo, fail_fast=fail_fast
+            )
+        except ValueError as error:
+            if "does not fit" in str(error):
+                return None  # capacity wall: this sharding cannot hold the load
+            raise
 
     pool: Optional[ProbePool] = None
     if parallel > 1:
@@ -138,12 +161,15 @@ def size_fleet(
             probe_width(parallel),
         )
 
-    def evaluate(order: int, replicas: int, sharding: ShardingSpec) -> FleetReport:
+    def evaluate(
+        order: int, replicas: int, sharding: ShardingSpec
+    ) -> Optional[FleetReport]:
         if pool is None:
             report = run_probe(replicas, sharding)
         else:
             report = pool.get((order, replicas))
-        probes.append(SizingProbe(replicas, sharding, report.meets_slo()))
+        met = report is not None and report.meets_slo()
+        probes.append(SizingProbe(replicas, sharding, met))
         return report
 
     def prefetch_doubling(order: int, replicas: int) -> None:
@@ -171,13 +197,17 @@ def size_fleet(
             # -- double until the SLO is met ---------------------------------
             prefetch_doubling(order, 1)
             replicas, report = 1, evaluate(order, 1, sharding)
+            if report is None:
+                continue  # capacity wall: more replicas cannot rescue it
             failed = 0
             while not report.meets_slo() and replicas < max_replicas:
                 failed = replicas
                 replicas = min(2 * replicas, max_replicas)
                 prefetch_doubling(order, replicas)
                 report = evaluate(order, replicas, sharding)
-            if not report.meets_slo():
+                if report is None:
+                    break
+            if report is None or not report.meets_slo():
                 continue  # infeasible within max_replicas for this sharding
             # -- bisect down to the minimum ----------------------------------
             low, high = failed, replicas  # low fails (0 = "no fleet"), high meets
@@ -185,7 +215,7 @@ def size_fleet(
                 prefetch_bisect(order, low, high, parallel)
                 mid = (low + high) // 2
                 mid_report = evaluate(order, mid, sharding)
-                if mid_report.meets_slo():
+                if mid_report is not None and mid_report.meets_slo():
                     high, report = mid, mid_report
                 else:
                     low = mid

@@ -8,6 +8,7 @@ generates against DRAM.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.llm.models import ModelSpec
@@ -57,6 +58,28 @@ class KVCache:
     def write_bytes_per_decode_step(self) -> float:
         """Bytes written to append the new token's K and V in every layer."""
         return self.model.num_layers * self.bytes_per_token_per_layer
+
+    # -- integer-byte variants ----------------------------------------------
+    # Allocator-style accounting (repro.memory.DramPool) must add and
+    # subtract footprints thousands of times without float drift, so these
+    # round *once*, per token-layer, and build every larger quantity from
+    # that integer.  ceil, not round: a byte budget can only be conservative.
+
+    @property
+    def bytes_per_token_per_layer_int(self) -> int:
+        """``bytes_per_token_per_layer`` rounded up to whole bytes."""
+        return math.ceil(2 * self.model.kv_dim * self.bits_per_value / 8)
+
+    @property
+    def total_bytes_int(self) -> int:
+        """Integer total footprint: exact multiples of the per-token bytes."""
+        return (
+            self.seq_len * self.model.num_layers * self.bytes_per_token_per_layer_int
+        )
+
+    def write_bytes_per_decode_step_int(self) -> int:
+        """Integer bytes appended per decode step (one token, every layer)."""
+        return self.model.num_layers * self.bytes_per_token_per_layer_int
 
     def append(self, tokens: int = 1) -> "KVCache":
         """Return a new cache state with ``tokens`` more cached tokens."""

@@ -1,0 +1,45 @@
+"""Flash-backed KV memory subsystem.
+
+This package makes memory a first-class citizen of the serving stack: a
+deterministic, wall-clock-free model of the DRAM the KV cache lives in
+and the flash array cold KV spills into.  The continuous scheduler
+admits by modeled footprint instead of slot count
+(``ContinuousBatchScheduler(memory=MemorySpec(...))``), pays spill,
+refill and read-through occupancies when DRAM fills, and surfaces the
+traffic in :class:`repro.serving.ServingReport` /
+:class:`repro.fleet.FleetReport`.
+
+Composition (the ``SSDSimulator`` shape from SNIPPETS.md):
+
+* :class:`MemorySpec` — frozen description: DRAM bytes, flash
+  geometry/timing, KV precision, spill-area sizing.
+* :class:`KVFootprint` — integer per-request bytes from
+  :class:`repro.llm.kv_cache.KVCache`.
+* :class:`DramPool` — admission + residency ledger with a high-water mark.
+* :class:`WriteCoalescingCache` — absorbs byte-granular spill writes,
+  flushes whole pages.
+* :class:`PageMappedFTL` — block/page map with greedy GC traffic.
+* :class:`FlashChannelModel` — channel-parallel pricing of the spill and
+  refill transfers on :class:`repro.flash.timing.FlashTiming`.
+* :class:`KVMemoryModel` — the stateful composition a scheduler plans
+  against; :class:`MemoryReport` is its end-of-run snapshot.
+"""
+
+from repro.memory.channel import FlashChannelModel
+from repro.memory.footprint import KVFootprint
+from repro.memory.ftl import PageMappedFTL
+from repro.memory.model import KVMemoryModel, MemoryReport
+from repro.memory.pool import DramPool
+from repro.memory.spec import MemorySpec
+from repro.memory.write_cache import WriteCoalescingCache
+
+__all__ = [
+    "DramPool",
+    "FlashChannelModel",
+    "KVFootprint",
+    "KVMemoryModel",
+    "MemoryReport",
+    "MemorySpec",
+    "PageMappedFTL",
+    "WriteCoalescingCache",
+]

@@ -1,0 +1,72 @@
+"""Channel-level pricing of spill/refill flash traffic.
+
+Reuses :class:`repro.flash.timing.FlashTiming` for the raw latencies and
+spreads page batches across the array's channels: ``n`` pages cost what
+the busiest channel's ``ceil(n / channels)`` pages cost.  A
+``channel_share`` below 1 models contention with concurrent weight
+streaming — the KV path only sees that fraction of the bus.
+"""
+
+from __future__ import annotations
+
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FlashTiming
+from repro.units import US
+
+
+class FlashChannelModel:
+    """Prices page reads/writes/erases across the array's channels."""
+
+    __slots__ = ("geometry", "timing", "channel_share")
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        timing: FlashTiming,
+        channel_share: float = 1.0,
+    ):
+        if not 0.0 < channel_share <= 1.0:
+            raise ValueError("channel_share must be in (0, 1]")
+        self.geometry = geometry
+        self.timing = timing
+        self.channel_share = channel_share
+
+    def pages_for_bytes(self, num_bytes: int) -> int:
+        """Whole pages touched when moving ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return -(-num_bytes // self.geometry.page_bytes)
+
+    def _per_channel(self, num_pages: int) -> int:
+        return -(-num_pages // self.geometry.channels)
+
+    def read_seconds(self, num_pages: int) -> float:
+        """Time to read ``num_pages`` pages (tR + transfer per page)."""
+        if num_pages <= 0:
+            return 0.0
+        timing = self.timing
+        per_page = (
+            timing.command_overhead_seconds
+            + timing.read_seconds
+            + timing.register_transfer_seconds
+            + timing.page_transfer_seconds(self.geometry.page_bytes)
+        )
+        return self._per_channel(num_pages) * per_page / self.channel_share
+
+    def write_seconds(self, num_pages: int) -> float:
+        """Time to program ``num_pages`` pages (transfer + tPROG per page)."""
+        if num_pages <= 0:
+            return 0.0
+        timing = self.timing
+        per_page = (
+            timing.command_overhead_seconds
+            + timing.page_transfer_seconds(self.geometry.page_bytes)
+            + timing.program_us * US
+        )
+        return self._per_channel(num_pages) * per_page / self.channel_share
+
+    def erase_seconds(self, num_erases: int) -> float:
+        """Time spent in block erases (GC pays this on the spill path)."""
+        if num_erases <= 0:
+            return 0.0
+        return self._per_channel(num_erases) * self.timing.erase_us * US / self.channel_share

@@ -1,0 +1,52 @@
+"""Per-request KV footprints in whole bytes.
+
+A :class:`KVFootprint` is the admission currency of the memory model:
+how many DRAM bytes a request's KV cache occupies after prefill, and by
+how many bytes it grows per decode step.  Both are integers built from
+:class:`repro.llm.kv_cache.KVCache`'s integer-byte variants so the
+:class:`repro.memory.pool.DramPool` ledger can add and subtract them
+thousands of times without float drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.kv_cache import KVCache
+from repro.llm.models import ModelSpec, get_model
+
+
+@dataclass(frozen=True)
+class KVFootprint:
+    """Integer KV-cache footprint of one request (all its batch lanes)."""
+
+    #: DRAM bytes resident after prefill (the whole prompt's K/V).
+    prompt_bytes: int
+    #: Bytes appended per decode step (one token per lane, every layer).
+    step_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.prompt_bytes < 0 or self.step_bytes < 0:
+            raise ValueError("footprint bytes must be non-negative")
+
+    def total_bytes(self, steps_done: int = 0) -> int:
+        """Footprint after ``steps_done`` decode steps."""
+        return self.prompt_bytes + steps_done * self.step_bytes
+
+    @classmethod
+    def of_request(cls, request, kv_bits: int = 16) -> "KVFootprint":
+        """Size an :class:`repro.api.InferenceRequest`'s KV cache.
+
+        The request's model is resolved through the zoo when given by
+        name; ``kv_bits`` comes from the :class:`MemorySpec` so serving
+        and engine precision agree.
+        """
+        model = request.model
+        if not isinstance(model, ModelSpec):
+            model = get_model(model)
+        cache = KVCache(model, request.seq_len, bits_per_value=kv_bits)
+        lanes = request.batch_size
+        return cls(
+            prompt_bytes=cache.total_bytes_int * lanes,
+            step_bytes=cache.write_bytes_per_decode_step_int() * lanes,
+        )

@@ -1,0 +1,179 @@
+"""Page-mapped flash translation layer for the KV spill area.
+
+Tracks which physical blocks hold live spilled pages, writes
+sequentially into one open block at a time, and — when the free list
+runs dry — garbage-collects the block with the most invalid pages,
+copying its survivors before the erase.  All state is integer counters
+and index lists, so two runs making the same call sequence produce the
+same write-amplification to the cycle.
+
+Spilled KV is consumed oldest-first (refill and trim both drop the
+coldest bytes), so liveness is tracked as a FIFO of ``[block, pages]``
+write segments rather than a per-page map — the logical→physical page
+map collapses to segment granularity without changing any count.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, List
+
+
+class PageMappedFTL:
+    """Deterministic block/page bookkeeping with greedy GC."""
+
+    __slots__ = (
+        "num_blocks",
+        "pages_per_block",
+        "_live",
+        "_written",
+        "_open",
+        "_free",
+        "_segments",
+        "_dead",
+        "live_pages",
+        "page_writes",
+        "gc_page_copies",
+        "erases",
+    )
+
+    def __init__(self, num_blocks: int, pages_per_block: int):
+        if num_blocks < 2:
+            raise ValueError(
+                "num_blocks must be at least 2 (GC needs one block of slack)"
+            )
+        if pages_per_block <= 0:
+            raise ValueError("pages_per_block must be positive")
+        self.num_blocks = num_blocks
+        self.pages_per_block = pages_per_block
+        #: Live (still-mapped) pages per block.
+        self._live: List[int] = [0] * num_blocks
+        #: Pages programmed into the block since its last erase.
+        self._written: List[int] = [0] * num_blocks
+        self._open = 0
+        self._free: Deque[int] = deque(range(1, num_blocks))
+        #: FIFO of [block, pages] segments in write order (oldest first).
+        self._segments: Deque[List[int]] = deque()
+        #: Min-heap of fully-invalid full blocks (lazily pruned); the GC
+        #: fast path, since a dead block is always the greedy victim.
+        self._dead: List[int] = []
+        self.live_pages = 0
+        self.page_writes = 0
+        self.gc_page_copies = 0
+        self.erases = 0
+
+    @property
+    def capacity_pages(self) -> int:
+        """Live pages the spill area may hold (one block stays as GC slack)."""
+        return (self.num_blocks - 1) * self.pages_per_block
+
+    def write(self, num_pages: int) -> int:
+        """Program ``num_pages`` new live pages; return pages GC copied.
+
+        Raises
+        ------
+        ValueError
+            If the live footprint would exceed :attr:`capacity_pages` —
+            the caller (the memory model) is expected to check first.
+        """
+        if num_pages < 0:
+            raise ValueError("num_pages must be non-negative")
+        if self.live_pages + num_pages > self.capacity_pages:
+            raise ValueError(
+                f"write({num_pages}) exceeds the spill area "
+                f"({self.live_pages} of {self.capacity_pages} pages live)"
+            )
+        copies = 0
+        remaining = num_pages
+        while remaining:
+            room = self.pages_per_block - self._written[self._open]
+            if room == 0:
+                copies += self._advance_open()
+                continue
+            take = room if room < remaining else remaining
+            self._written[self._open] += take
+            self._live[self._open] += take
+            self._append_segment(self._open, take)
+            remaining -= take
+        self.live_pages += num_pages
+        self.page_writes += num_pages
+        return copies
+
+    def invalidate(self, num_pages: int) -> None:
+        """Unmap the ``num_pages`` oldest live pages (refill or trim)."""
+        if num_pages < 0:
+            raise ValueError("num_pages must be non-negative")
+        if num_pages > self.live_pages:
+            raise ValueError(
+                f"invalidate({num_pages}) exceeds live pages ({self.live_pages})"
+            )
+        remaining = num_pages
+        segments = self._segments
+        while remaining:
+            segment = segments[0]
+            block = segment[0]
+            take = segment[1] if segment[1] < remaining else remaining
+            self._live[block] -= take
+            segment[1] -= take
+            if segment[1] == 0:
+                segments.popleft()
+            if (
+                self._live[block] == 0
+                and self._written[block] == self.pages_per_block
+            ):
+                heapq.heappush(self._dead, block)
+            remaining -= take
+        self.live_pages -= num_pages
+
+    # -- internals -------------------------------------------------------------
+    def _append_segment(self, block: int, pages: int) -> None:
+        segments = self._segments
+        if segments and segments[-1][0] == block:
+            segments[-1][1] += pages
+        else:
+            segments.append([block, pages])
+
+    def _advance_open(self) -> int:
+        """The open block is full; pick the next destination (GC if needed)."""
+        if self._free:
+            self._open = self._free.popleft()
+            return 0
+        return self._collect()
+
+    def _collect(self) -> int:
+        """Erase the fullest-of-invalid block, copying its survivors.
+
+        The survivors are re-programmed into the reclaimed block itself
+        (read → buffer → erase → program back), which keeps the model
+        free-list-less during GC; their segments keep pointing at the
+        same block index, so liveness bookkeeping is untouched.
+        """
+        pages = self.pages_per_block
+        victim = -1
+        # Fast path: a fully-invalid full block is always the greedy
+        # victim, and the lowest-index one matches the scan's tie-break.
+        # Entries go stale once a victim is erased and reused, so prune
+        # lazily against the live/written ledgers.
+        while self._dead:
+            candidate = heapq.heappop(self._dead)
+            if self._written[candidate] == pages and self._live[candidate] == 0:
+                victim = candidate
+                break
+        if victim < 0:
+            victim_invalid = 0
+            for block in range(self.num_blocks):
+                if self._written[block] != pages:
+                    continue
+                invalid = pages - self._live[block]
+                if invalid > victim_invalid:
+                    victim, victim_invalid = block, invalid
+        if victim < 0:
+            raise ValueError("garbage collection found no invalid pages to reclaim")
+        survivors = self._live[victim]
+        self.erases += 1
+        self.gc_page_copies += survivors
+        self.page_writes += survivors
+        self._written[victim] = survivors
+        self._open = victim
+        return survivors

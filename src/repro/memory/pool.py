@@ -1,0 +1,55 @@
+"""DRAM residency ledger.
+
+The :class:`DramPool` is deliberately dumb: an integer byte counter with
+admission/release guards and a high-water mark.  All policy (what to
+admit, what to spill) lives in the scheduler and
+:class:`repro.memory.model.KVMemoryModel`; the pool only guarantees the
+ledger can never go negative or exceed capacity.
+"""
+
+from __future__ import annotations
+
+
+class DramPool:
+    """Byte-exact accounting of KV residency in DRAM."""
+
+    __slots__ = ("capacity_bytes", "used_bytes", "high_water_bytes")
+
+    def __init__(self, capacity_bytes: int):
+        if not isinstance(capacity_bytes, int) or capacity_bytes <= 0:
+            raise ValueError(
+                f"capacity_bytes must be a positive int, got {capacity_bytes!r}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self.high_water_bytes = 0
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def fits(self, num_bytes: int) -> bool:
+        return num_bytes <= self.free_bytes
+
+    def admit(self, num_bytes: int) -> None:
+        """Claim ``num_bytes`` of residency; the caller checked it fits."""
+        if not isinstance(num_bytes, int) or num_bytes < 0:
+            raise ValueError(f"num_bytes must be a non-negative int, got {num_bytes!r}")
+        if num_bytes > self.free_bytes:
+            raise ValueError(
+                f"admit({num_bytes}) exceeds free DRAM ({self.free_bytes} of "
+                f"{self.capacity_bytes} bytes)"
+            )
+        self.used_bytes += num_bytes
+        if self.used_bytes > self.high_water_bytes:
+            self.high_water_bytes = self.used_bytes
+
+    def release(self, num_bytes: int) -> None:
+        """Return ``num_bytes`` of residency to the pool."""
+        if not isinstance(num_bytes, int) or num_bytes < 0:
+            raise ValueError(f"num_bytes must be a non-negative int, got {num_bytes!r}")
+        if num_bytes > self.used_bytes:
+            raise ValueError(
+                f"release({num_bytes}) exceeds used DRAM ({self.used_bytes} bytes)"
+            )
+        self.used_bytes -= num_bytes

@@ -1,0 +1,142 @@
+"""Static description of a device's KV memory system.
+
+A :class:`MemorySpec` bundles everything the runtime model
+(:class:`repro.memory.model.KVMemoryModel`) needs to price admission and
+spill decisions: the DRAM byte budget and bandwidth, the flash geometry
+and timing the spill path runs against, and the KV precision that sizes
+footprints.  It is frozen and hashable so schedulers, fleets and sizing
+sweeps can share and key on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FlashTiming
+from repro.units import GB, GiB, MiB
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """DRAM budget + flash geometry/bandwidths for one serving replica.
+
+    Attributes
+    ----------
+    dram_bytes:
+        Integer DRAM capacity available to the KV cache.  The paper's
+        budget (Table V) is 2 GiB of LPDDR next to the NPU.
+    dram_bandwidth_bytes_per_s:
+        Effective DRAM bandwidth for the spill/refill copies
+        (LPDDR5X ≈ 40 GB/s at 0.9 streaming efficiency).
+    flash / timing:
+        The flash array the cold KV spills into; reuses the exact
+        geometry and timing objects of :mod:`repro.flash`.
+    kv_bits:
+        Storage precision of cached keys/values, sizing every footprint.
+    reserved_flash_bytes:
+        Flash already spoken for (the weight image); spill only uses
+        what remains.
+    write_cache_bytes:
+        DRAM staging buffer that absorbs spill writes; flushed to flash
+        in whole pages once full (must hold at least one page).
+    spill_capacity_bytes:
+        Optional cap on the flash KV spill area (None = everything not
+        reserved).  Keeps the FTL small when the array is huge.
+    channel_share:
+        Fraction of the flash channel bandwidth the KV path gets;
+        weight streaming contends for the rest.
+    """
+
+    dram_bytes: int = 2 * GiB
+    dram_bandwidth_bytes_per_s: float = 0.9 * 40 * GB
+    flash: FlashGeometry = field(default_factory=FlashGeometry)
+    timing: FlashTiming = field(default_factory=FlashTiming)
+    kv_bits: int = 16
+    reserved_flash_bytes: int = 0
+    write_cache_bytes: int = 1 * MiB
+    spill_capacity_bytes: Optional[int] = None
+    channel_share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.dram_bytes, int) or self.dram_bytes <= 0:
+            raise ValueError(
+                f"dram_bytes must be a positive int, got {self.dram_bytes!r}"
+            )
+        if self.dram_bandwidth_bytes_per_s <= 0:
+            raise ValueError("dram_bandwidth_bytes_per_s must be positive")
+        if self.kv_bits <= 0:
+            raise ValueError("kv_bits must be positive")
+        if self.reserved_flash_bytes < 0:
+            raise ValueError("reserved_flash_bytes must be non-negative")
+        if self.write_cache_bytes < self.flash.page_bytes:
+            raise ValueError(
+                "write_cache_bytes must hold at least one flash page "
+                f"({self.flash.page_bytes} bytes)"
+            )
+        if self.spill_capacity_bytes is not None and self.spill_capacity_bytes < 0:
+            raise ValueError("spill_capacity_bytes must be non-negative")
+        if not 0.0 < self.channel_share <= 1.0:
+            raise ValueError("channel_share must be in (0, 1]")
+
+    # -- derived -------------------------------------------------------------
+    @property
+    def page_bytes(self) -> int:
+        return self.flash.page_bytes
+
+    @property
+    def block_bytes(self) -> int:
+        return self.flash.pages_per_block * self.flash.page_bytes
+
+    @property
+    def spill_bytes(self) -> int:
+        """Flash bytes the KV spill area may occupy."""
+        available = max(0, self.flash.total_capacity_bytes - self.reserved_flash_bytes)
+        if self.spill_capacity_bytes is None:
+            return available
+        return min(available, self.spill_capacity_bytes)
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def from_config(cls, config, **overrides) -> "MemorySpec":
+        """Derive a spec from a :class:`repro.core.config.CambriconLLMConfig`.
+
+        Takes the config's DRAM capacity/bandwidth, flash geometry, timing
+        and KV precision; keyword overrides replace any field.
+        """
+        fields = dict(
+            dram_bytes=int(config.npu.dram.capacity_bytes),
+            dram_bandwidth_bytes_per_s=config.npu.dram.effective_bandwidth,
+            flash=config.flash,
+            timing=config.timing,
+            kv_bits=config.kv_bits,
+        )
+        fields.update(overrides)
+        return cls(**fields)
+
+    def scaled(self, num_devices: int) -> "MemorySpec":
+        """Aggregate spec for a replica sharded across ``num_devices`` chips.
+
+        DRAM, the flash array and the write cache all multiply; the
+        reserved weight image does not (the weights are *divided* across
+        the shard group, which is exactly how sharding rescues OOM).
+        """
+        if num_devices < 1:
+            raise ValueError("num_devices must be at least 1")
+        if num_devices == 1:
+            return self
+        return replace(
+            self,
+            dram_bytes=self.dram_bytes * num_devices,
+            flash=replace(
+                self.flash,
+                blocks_per_plane=self.flash.blocks_per_plane * num_devices,
+            ),
+            write_cache_bytes=self.write_cache_bytes * num_devices,
+            spill_capacity_bytes=(
+                None
+                if self.spill_capacity_bytes is None
+                else self.spill_capacity_bytes * num_devices
+            ),
+        )

@@ -1,0 +1,62 @@
+"""Write-coalescing cache for the spill path.
+
+Spilled KV bytes land in a small DRAM staging buffer first; once the
+buffer fills, whole flash pages are flushed to the FTL.  This turns many
+small per-step spill writes into page-aligned flash programs — the same
+role the write cache plays in SNIPPETS.md's ``SSDSimulator`` composition.
+"""
+
+from __future__ import annotations
+
+
+class WriteCoalescingCache:
+    """Absorbs byte-granular spill writes, emitting page-granular flushes."""
+
+    __slots__ = (
+        "capacity_bytes",
+        "page_bytes",
+        "buffered_bytes",
+        "absorbed_bytes",
+        "flushed_pages",
+        "flushes",
+    )
+
+    def __init__(self, capacity_bytes: int, page_bytes: int):
+        if page_bytes <= 0:
+            raise ValueError("page_bytes must be positive")
+        if capacity_bytes < page_bytes:
+            raise ValueError(
+                f"capacity_bytes ({capacity_bytes}) must hold at least one "
+                f"page ({page_bytes} bytes)"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.page_bytes = page_bytes
+        self.buffered_bytes = 0
+        self.absorbed_bytes = 0
+        self.flushed_pages = 0
+        self.flushes = 0
+
+    def absorb(self, num_bytes: int) -> int:
+        """Buffer ``num_bytes``; return whole pages to flush now (0 = none).
+
+        The flush threshold is the buffer capacity: when crossed, every
+        complete page is flushed and only the sub-page tail stays
+        buffered.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self.buffered_bytes += num_bytes
+        self.absorbed_bytes += num_bytes
+        if self.buffered_bytes < self.capacity_bytes:
+            return 0
+        pages = self.buffered_bytes // self.page_bytes
+        self.buffered_bytes -= pages * self.page_bytes
+        self.flushed_pages += pages
+        self.flushes += 1
+        return pages
+
+    def drop(self, num_bytes: int) -> None:
+        """Discard up to ``num_bytes`` still buffered (refilled or freed)."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self.buffered_bytes -= min(self.buffered_bytes, num_bytes)

@@ -19,9 +19,12 @@ import csv
 import io
 from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, MutableSequence, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, MutableSequence, Optional, Sequence, Tuple
 
 from repro.serving.request import RequestRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.memory import MemoryReport
 
 #: Percentiles reported for every latency metric.
 REPORT_PERCENTILES = (50.0, 95.0, 99.0)
@@ -320,6 +323,10 @@ class ServingReport:
     #: ``records`` is empty and every metric below reads from here (the
     #: values are the exact stamps the record list would have carried).
     streamed: Optional[StreamedMetrics] = None
+    #: Snapshot of the flash-backed KV memory counters
+    #: (:class:`repro.memory.MemoryReport`); None when the scheduler ran
+    #: without a memory model.
+    memory: Optional["MemoryReport"] = None
 
     def __post_init__(self) -> None:
         #: metric name -> sorted values, so repeated percentile queries
@@ -518,6 +525,8 @@ class ServingReport:
             ["e2e p50/p95/p99 (s)", percentile_triplet(e2e)],
             ["queue depth mean/max", f"{self.mean_queue_depth:.2f}/{self.max_queue_depth}"],
         ]
+        if self.memory is not None:
+            rows.extend([label, value] for label, value in self.memory.rows())
         if self.slo is not None:
             rows.extend(
                 [

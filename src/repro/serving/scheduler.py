@@ -41,6 +41,23 @@ to the step-by-step loop's and the per-request trace CSV stays
 byte-identical.  ``max_steps=1`` reproduces the uncoalesced loop exactly;
 FCFS and static batching already emit whole-job occupancies, so both
 accept (and ignore) the new arguments.
+
+The memory model
+----------------
+
+``ContinuousBatchScheduler(memory=MemorySpec(...))`` switches admission
+from slot counting to modeled KV footprints (:mod:`repro.memory`):
+a request is admitted when its prompt's KV bytes fit in free DRAM (or
+in DRAM plus flash spill space, paying the spill write on the prefill
+occupancy), decode steps grow residency per step, and a step whose
+growth no longer fits spills to flash and reads the flash-resident KV
+back through the channels every step.  Freed DRAM pulls spilled bytes
+home as explicit ``refill`` occupancies.  Every spill/refill is a new
+interesting boundary: coalescing is additionally capped at the step
+where DRAM would fill (regime A), and a spilling batch plans strictly
+one step per occupancy (regime B), so coalesced and ``max_steps=1``
+runs stay byte-identical with the model enabled too.  ``memory=None``
+(the default) leaves the slot-count path untouched.
 """
 
 from __future__ import annotations
@@ -56,6 +73,8 @@ JOB = "job"
 BATCH = "batch"
 PREFILL = "prefill"
 DECODE = "decode"
+#: Spilled KV streaming back from flash to freed DRAM (memory model only).
+REFILL = "refill"
 
 
 @dataclass(slots=True)
@@ -199,14 +218,25 @@ class ContinuousBatchScheduler(Scheduler):
     #: because entries only mirror the cost model's deterministic answers.
     MEMO_SIZE = 4096
 
-    def __init__(self, max_batch: int = 8):
+    def __init__(self, max_batch: int = 8, memory=None):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         super().__init__()
         self.max_batch = max_batch
+        #: The flash-backed KV memory model (None = slot-count admission).
+        #: A MemorySpec is wrapped into a fresh stateful model, which —
+        #: like the scheduler itself — serves exactly one run.
+        if memory is not None:
+            from repro.memory import KVMemoryModel, MemorySpec
+
+            if isinstance(memory, MemorySpec):
+                memory = KVMemoryModel(memory)
+        self.memory = memory
         #: Active sequences as [record, remaining decode steps, payload]
         #: triples (the payload is cached so the per-step pass skips the
-        #: record -> source -> request attribute chain).
+        #: record -> source -> request attribute chain).  With a memory
+        #: model, entries carry three more slots: [resident DRAM bytes,
+        #: spilled flash bytes, KV growth bytes per step].
         self._active: List[List] = []
         #: Batch-membership aggregates maintained incrementally on
         #: admission/release, so the per-step path never recomputes them:
@@ -245,35 +275,48 @@ class ContinuousBatchScheduler(Scheduler):
             self._ttft_memo.clear()
             self._step_memo.clear()
             self._memo_cost = cost
+        memory = self.memory
         # Admission first: fill free batch slots with waiting prefills so
         # new requests reach their first token as early as possible.
         if self._waiting and len(self._active) < self.max_batch:
-            record = self._waiting.popleft()
-            request = record.source.request
-            memo = self._ttft_memo
-            hit = memo.get(id(request))
-            if hit is not None and hit[0] is request:
-                ttft = hit[1]
-            else:
-                ttft = cost.ttft(request)
-                if len(memo) >= self.MEMO_SIZE:
-                    memo.clear()
-                memo[id(request)] = (request, ttft)
-            record.prefill_start_s = now
-            record.first_token_s = now + ttft
-            self._active.append([record, request.gen_tokens, request])
-            self._lanes += request.batch_size
-            ident = id(request)
-            payloads = self._payloads
-            counted = payloads.get(ident)
-            if counted is None:
-                payloads[ident] = [request, 1]
-            else:
-                counted[1] += 1
-            return Occupancy(PREFILL, ttft)
+            if memory is None:
+                record = self._waiting.popleft()
+                request = record.source.request
+                memo = self._ttft_memo
+                hit = memo.get(id(request))
+                if hit is not None and hit[0] is request:
+                    ttft = hit[1]
+                else:
+                    ttft = cost.ttft(request)
+                    if len(memo) >= self.MEMO_SIZE:
+                        memo.clear()
+                    memo[id(request)] = (request, ttft)
+                record.prefill_start_s = now
+                record.first_token_s = now + ttft
+                self._active.append([record, request.gen_tokens, request])
+                self._lanes += request.batch_size
+                ident = id(request)
+                payloads = self._payloads
+                counted = payloads.get(ident)
+                if counted is None:
+                    payloads[ident] = [request, 1]
+                else:
+                    counted[1] += 1
+                return Occupancy(PREFILL, ttft)
+            occupancy = self._admit_with_memory(now, cost)
+            if occupancy is not None:
+                return occupancy
+            # Otherwise the head-of-line request is waiting on DRAM/flash
+            # space; fall through so in-flight decodes can free some.
         active = self._active
         if not active:
             return None
+        # Freed DRAM pulls spilled KV home before the next decode step:
+        # an explicit refill occupancy, and an interesting boundary.
+        if memory is not None and memory.spilled_bytes:
+            refill = self._plan_refill()
+            if refill is not None:
+                return refill
         # The batch aggregates — total lanes and the distinct payload
         # objects — are maintained incrementally on admission/release, so
         # the per-step pass only finds the earliest in-batch completion.
@@ -308,6 +351,8 @@ class ContinuousBatchScheduler(Scheduler):
         # in-batch completion, so up to `limit` steps are one occupancy.
         if max_steps is not None and max_steps < limit:
             limit = max_steps
+        if memory is not None:
+            return self._decode_with_memory(now, step, limit, horizon)
         # With a free slot, a future arrival is admissible at any step
         # boundary: stop at the first boundary that reaches the horizon
         # (with a full batch, arrivals can only queue — no cap needed).
@@ -335,6 +380,185 @@ class ContinuousBatchScheduler(Scheduler):
         return Occupancy(
             DECODE,
             step if steps == 1 else end - now,
+            [entry[0] for entry in finished],
+            steps=steps,
+            end_s=end,
+        )
+
+    # -- the memory-model path ------------------------------------------------
+    def _admit_with_memory(self, now: float, cost) -> Optional[Occupancy]:
+        """Admit the head-of-line request by KV footprint, not slot count.
+
+        Returns None when the prompt's KV bytes fit neither in free DRAM
+        nor in DRAM plus free flash — the request then waits for in-flight
+        decodes to release residency.  An empty batch with no residency to
+        free means the config can never hold the request: that is a true
+        OOM, raised so sharding (which scales the spec) can rescue it.
+        """
+        memory = self.memory
+        record = self._waiting[0]
+        request = record.source.request
+        footprint = memory.footprint(request)
+        prompt = footprint.prompt_bytes
+        free = memory.pool.free_bytes
+        if prompt <= free:
+            resident, spilled = prompt, 0
+        elif prompt <= free + memory.flash_free_bytes:
+            resident, spilled = free, prompt - free
+        elif not self._active:
+            raise ValueError(
+                f"prompt KV footprint ({prompt} bytes) does not fit in DRAM "
+                f"({memory.pool.capacity_bytes} bytes) plus flash spill space "
+                f"({memory.spill_capacity_bytes} bytes); the request can never "
+                "be admitted — shard the replica or scale the MemorySpec"
+            )
+        else:
+            return None
+        self._waiting.popleft()
+        memo = self._ttft_memo
+        hit = memo.get(id(request))
+        if hit is not None and hit[0] is request:
+            ttft = hit[1]
+        else:
+            ttft = cost.ttft(request)
+            if len(memo) >= self.MEMO_SIZE:
+                memo.clear()
+            memo[id(request)] = (request, ttft)
+        io_seconds = 0.0
+        if resident:
+            memory.pool.admit(resident)
+        if spilled:
+            io_seconds = memory.spill(spilled)
+        record.prefill_start_s = now
+        record.first_token_s = now + ttft
+        self._active.append(
+            [record, request.gen_tokens, request, resident, spilled, footprint.step_bytes]
+        )
+        self._lanes += request.batch_size
+        ident = id(request)
+        payloads = self._payloads
+        counted = payloads.get(ident)
+        if counted is None:
+            payloads[ident] = [request, 1]
+        else:
+            counted[1] += 1
+        # The spill write rides on the prefill occupancy; first_token_s
+        # stays at now + ttft (the token exists before the cold KV moves).
+        return Occupancy(PREFILL, ttft + io_seconds)
+
+    def _plan_refill(self) -> Optional[Occupancy]:
+        """Move spilled KV back into free DRAM, oldest batch member first."""
+        memory = self.memory
+        free = memory.pool.free_bytes
+        if free <= 0:
+            return None
+        moved = 0
+        for entry in self._active:
+            spilled = entry[4]
+            if not spilled:
+                continue
+            take = spilled if spilled <= free else free
+            entry[4] -= take
+            entry[3] += take
+            free -= take
+            moved += take
+            if free == 0:
+                break
+        if not moved:
+            return None
+        memory.pool.admit(moved)
+        return Occupancy(REFILL, memory.refill(moved))
+
+    def _decode_with_memory(
+        self, now: float, step: float, limit: int, horizon: Optional[float]
+    ) -> Occupancy:
+        """Plan decode steps under the memory model.
+
+        Regime A (nothing spilled, the whole batch's per-step KV growth
+        fits in DRAM): coalescing stays legal, additionally capped at the
+        step where DRAM would fill — that boundary is interesting.
+        Regime B (something is spilled, or this step must spill): plan
+        strictly one step, paying the flash read-through of the resident
+        spill plus the spill write of whatever no longer fits.  Both
+        regimes make the same integer ledger updates per step whether
+        steps are coalesced or not, so ``max_steps=1`` and coalesced runs
+        stay byte-identical.
+        """
+        memory = self.memory
+        active = self._active
+        pool = memory.pool
+        growth = 0
+        for entry in active:
+            growth += entry[5]
+        if memory.spilled_bytes == 0 and growth <= pool.free_bytes:
+            # Regime A — the DRAM-fill boundary caps the fast-forward.
+            if growth:
+                cap = pool.free_bytes // growth
+                if cap < limit:
+                    limit = cap
+            admission_open = horizon is not None and len(active) < self.max_batch
+            steps, end = 1, now + step
+            while steps < limit and not (admission_open and end >= horizon):
+                steps += 1
+                end += step
+            if growth:
+                pool.admit(steps * growth)
+                for entry in active:
+                    entry[3] += steps * entry[5]
+            seconds = step if steps == 1 else end - now
+        else:
+            # Regime B — every step spills or touches flash; one step only.
+            io_seconds = memory.readthrough_seconds()
+            free = pool.free_bytes
+            admitted = 0
+            spill_total = 0
+            for entry in active:
+                grow = entry[5]
+                take = grow if grow <= free else free
+                if take:
+                    entry[3] += take
+                    free -= take
+                    admitted += take
+                rest = grow - take
+                if rest:
+                    entry[4] += rest
+                    spill_total += rest
+            if admitted:
+                pool.admit(admitted)
+            if spill_total:
+                if spill_total > memory.flash_free_bytes:
+                    raise ValueError(
+                        f"decode-step KV growth ({spill_total} bytes) does not "
+                        "fit in the remaining flash spill space "
+                        f"({memory.flash_free_bytes} bytes); the batch has "
+                        "outgrown DRAM plus flash"
+                    )
+                io_seconds += memory.spill(spill_total)
+            steps = 1
+            seconds = step + io_seconds
+            end = now + seconds
+        finished = []
+        for entry in active:
+            entry[1] -= steps
+            if entry[1] == 0:
+                finished.append(entry)
+        payloads = self._payloads
+        for entry in finished:
+            active.remove(entry)
+            request = entry[2]
+            self._lanes -= request.batch_size
+            counted = payloads[id(request)]
+            if counted[1] == 1:
+                del payloads[id(request)]
+            else:
+                counted[1] -= 1
+            if entry[3]:
+                pool.release(entry[3])
+            if entry[4]:
+                memory.discard(entry[4])
+        return Occupancy(
+            DECODE,
+            seconds,
             [entry[0] for entry in finished],
             steps=steps,
             end_s=end,

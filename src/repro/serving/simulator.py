@@ -605,6 +605,7 @@ def simulate(
         metrics.queue_depth_area = queue_stats.area
         metrics.max_queue_depth = queue_stats.max_depth
 
+    memory = getattr(scheduler, "memory", None)
     return ServingReport(
         backend_name=backend_name,
         scheduler_name=scheduler.name,
@@ -616,4 +617,5 @@ def simulate(
         num_events=num_events,
         early_exit=early_exit,
         streamed=metrics,
+        memory=memory.report() if memory is not None else None,
     )

@@ -39,6 +39,42 @@ def test_gqa_shrinks_cache_eightfold():
     assert dense.bytes_per_token_per_layer > 8 * gqa.bytes_per_token_per_layer
 
 
+def test_int_variants_are_exact_integers_and_conservative():
+    """Allocator accounting rounds once, per token-layer, always upward."""
+    for name, bits in (("opt-6.7b", 16), ("llama2-70b", 16), ("opt-6.7b", 7)):
+        cache = KVCache(get_model(name), seq_len=500, bits_per_value=bits)
+        per_token = cache.bytes_per_token_per_layer_int
+        assert isinstance(per_token, int)
+        assert per_token >= cache.bytes_per_token_per_layer
+        assert per_token < cache.bytes_per_token_per_layer + 1
+        assert cache.total_bytes_int == (
+            cache.seq_len * cache.model.num_layers * per_token
+        )
+        assert cache.write_bytes_per_decode_step_int() == (
+            cache.model.num_layers * per_token
+        )
+        assert cache.total_bytes_int >= cache.total_bytes
+
+
+def test_int_variants_match_float_exactly_at_byte_aligned_precision():
+    """At 8/16-bit KV the float math is already integral: no rounding gap."""
+    cache = KVCache(get_model("opt-6.7b"), seq_len=1000, bits_per_value=16)
+    assert cache.total_bytes_int == cache.total_bytes
+    assert cache.write_bytes_per_decode_step_int() == (
+        cache.write_bytes_per_decode_step()
+    )
+
+
+def test_int_total_accumulates_without_drift():
+    """Appending N tokens one by one lands exactly on the N-token total."""
+    cache = KVCache(get_model("llama2-70b"), seq_len=0, bits_per_value=16)
+    step = cache.write_bytes_per_decode_step_int()
+    total = 0
+    for _ in range(1000):
+        total += step
+    assert total == KVCache(get_model("llama2-70b"), seq_len=1000).total_bytes_int
+
+
 def test_invalid_arguments_rejected():
     model = get_model("opt-6.7b")
     with pytest.raises(ValueError):

@@ -1,0 +1,199 @@
+"""The memory model inside the serving and fleet event loops.
+
+Two invariants anchor this file:
+
+* **Regression** — with ``memory=None`` (the default) every trace CSV is
+  byte-identical to the committed pre-memory behaviour, pinned here as
+  sha256 hashes of the exact recipes that produced them before the
+  subsystem existed.
+* **Equivalence** — with a :class:`MemorySpec` attached, the coalesced
+  run (``max_steps=None``) stays byte-identical to the step-by-step
+  reference (``max_steps=1``): spill, refill and DRAM-fill boundaries
+  are all "interesting" and the fast-forward never crosses them.
+"""
+
+import hashlib
+import random
+
+import pytest
+
+from serving_toys import ToyBackend
+
+from repro.api import InferenceRequest
+from repro.fleet import build_fleet, get_router, simulate_fleet
+from repro.memory import MemorySpec
+from repro.serving import (
+    ContinuousBatchScheduler,
+    PoissonWorkload,
+    SLOSpec,
+    load_bundled_trace,
+    simulate,
+)
+from repro.units import MiB
+
+PAYLOAD = InferenceRequest(model="opt-6.7b", seq_len=500, gen_tokens=24)
+SLO = SLOSpec(ttft_s=10.0, e2e_s=60.0)
+
+#: DRAM sized to ~1.5 of PAYLOAD's prompts: admissions spill, completions
+#: refill, and both regimes of the decode planner get exercised.
+TIGHT_SPEC = MemorySpec(dram_bytes=384 * MiB)
+
+
+def _mixed_payload(rng: random.Random, index: int) -> InferenceRequest:
+    """Heterogeneous generation lengths, so in-batch completions stagger."""
+    return PAYLOAD.with_overrides(gen_tokens=rng.choice([1, 7, 24, 64]))
+
+
+WORKLOADS = {
+    "poisson": lambda: PoissonWorkload(3.0, _mixed_payload, seed=11).generate(150),
+    "diurnal": lambda: load_bundled_trace("diurnal").generate(150),
+}
+
+#: sha256 of the trace CSVs these exact recipes produced BEFORE the
+#: memory subsystem landed.  ``memory=None`` must reproduce them forever.
+GOLDEN_SHA256 = {
+    ("serve", "poisson"):
+        "b6e881d5be6ed622e4821cfc94fbdbaaf301a725d94c3ce28103ef8e8d723b50",
+    ("fleet", "poisson"):
+        "673b111d3cde25ae2196ad9ed67030773daa4b76791f166057f39dd7b5c16024",
+    ("serve", "diurnal"):
+        "c3fec9f34262b6eb000fe8a11abe2ef44966501ae9fe48d682d865d1ba2640c6",
+    ("fleet", "diurnal"):
+        "efc422fe93a11f0bca548bef4ef0e4daa577d32bd1d7fd81695ac67080a7dfaa",
+}
+
+
+def _serve(arrivals, memory=None, max_steps=None):
+    return simulate(
+        arrivals,
+        ToyBackend(),
+        ContinuousBatchScheduler(max_batch=4, memory=memory),
+        slo=SLO,
+        max_steps=max_steps,
+    )
+
+
+def _fleet(arrivals, memory=None, max_steps=None):
+    fleet = build_fleet(
+        [ToyBackend(ttft=1.0, step=0.1)] * 4,
+        scheduler_factory=lambda: ContinuousBatchScheduler(
+            max_batch=4, memory=memory
+        ),
+    )
+    return simulate_fleet(
+        arrivals, fleet, get_router("jsq"), slo=SLO, max_steps=max_steps
+    )
+
+
+# -- regression: memory=None is the committed pre-memory behaviour ------------
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+@pytest.mark.parametrize("shape", ["serve", "fleet"])
+def test_memory_none_reproduces_the_pre_memory_golden_traces(shape, workload_name):
+    arrivals = WORKLOADS[workload_name]()
+    run = _serve if shape == "serve" else _fleet
+    report = run(arrivals)
+    digest = hashlib.sha256(report.to_csv().encode("utf-8")).hexdigest()
+    assert digest == GOLDEN_SHA256[(shape, workload_name)]
+    if shape == "serve":
+        assert report.memory is None
+    else:
+        assert all(r.memory is None for r in report.device_reports)
+
+
+# -- equivalence: coalesced == step-by-step with the model attached -----------
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_serve_with_memory_is_byte_identical_under_coalescing(workload_name):
+    arrivals = WORKLOADS[workload_name]()
+    coalesced = _serve(arrivals, memory=TIGHT_SPEC)
+    reference = _serve(arrivals, memory=TIGHT_SPEC, max_steps=1)
+    assert coalesced.to_csv() == reference.to_csv()
+    assert coalesced.makespan_s == reference.makespan_s
+    # The run really exercised the spill path, not just the A regime.
+    assert coalesced.memory.spill_events > 0
+    assert coalesced.memory == reference.memory
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_fleet_with_memory_is_byte_identical_under_coalescing(workload_name):
+    arrivals = WORKLOADS[workload_name]()
+    coalesced = _fleet(arrivals, memory=TIGHT_SPEC)
+    reference = _fleet(arrivals, memory=TIGHT_SPEC, max_steps=1)
+    assert coalesced.to_csv() == reference.to_csv()
+    assert [r.memory for r in coalesced.device_reports] == [
+        r.memory for r in reference.device_reports
+    ]
+    assert any(r.memory.spill_events for r in coalesced.device_reports)
+
+
+def test_intermediate_max_steps_with_memory_is_also_equivalent():
+    arrivals = PoissonWorkload(2.0, _mixed_payload, seed=9).generate(120)
+    csvs = [
+        _serve(arrivals, memory=TIGHT_SPEC, max_steps=max_steps).to_csv()
+        for max_steps in (1, 3, None)
+    ]
+    assert csvs[0] == csvs[1] == csvs[2]
+
+
+# -- behaviour ----------------------------------------------------------------
+
+def test_roomy_dram_changes_nothing_but_reports_high_water():
+    """A spec the workload never fills: identical trace to no model at all
+    (regime A coalescing is exactly the plain path), plus the ledger."""
+    arrivals = WORKLOADS["poisson"]()
+    plain = _serve(arrivals)
+    roomy = _serve(arrivals, memory=MemorySpec(dram_bytes=64 * 1024 * MiB))
+    assert roomy.to_csv() == plain.to_csv()
+    memory = roomy.memory
+    assert memory.spill_events == 0 and memory.refill_events == 0
+    assert 0 < memory.dram_high_water_bytes < memory.dram_capacity_bytes
+
+
+def test_tight_dram_spills_refills_and_slows_the_run():
+    arrivals = PoissonWorkload(1.0, _mixed_payload, seed=3).generate(20)
+    plain = _serve(arrivals)
+    tight = _serve(arrivals, memory=TIGHT_SPEC)
+    memory = tight.memory
+    assert memory.spill_events > 0 and memory.spill_bytes > 0
+    assert memory.refill_events > 0 and memory.refill_bytes > 0
+    assert memory.flash_pages_written > 0 and memory.flash_pages_read > 0
+    assert memory.dram_high_water_bytes == memory.dram_capacity_bytes
+    # Spill/refill/read-through I/O costs real modeled seconds.
+    assert tight.makespan_s > plain.makespan_s
+
+
+def test_memory_counters_appear_in_the_summary_rows():
+    arrivals = PoissonWorkload(1.0, _mixed_payload, seed=3).generate(20)
+    report = _serve(arrivals, memory=TIGHT_SPEC)
+    _, rows = report.summary_rows()
+    labels = [row[0] for row in rows]
+    assert "KV spills / refills" in labels
+    assert "DRAM high water" in labels
+    plain_labels = [row[0] for row in _serve(arrivals).summary_rows()[1]]
+    assert "KV spills / refills" not in plain_labels
+
+
+def test_each_fleet_replica_owns_an_independent_memory_model():
+    arrivals = WORKLOADS["poisson"]()
+    report = _fleet(arrivals, memory=TIGHT_SPEC)
+    memories = [r.memory for r in report.device_reports]
+    assert len(memories) == 4 and all(m is not None for m in memories)
+    # JSQ spreads the load, so every replica filled its own DRAM.
+    assert all(m.dram_high_water_bytes > 0 for m in memories)
+
+
+def test_scheduler_wraps_a_spec_into_a_fresh_model_per_instance():
+    first = ContinuousBatchScheduler(max_batch=4, memory=TIGHT_SPEC)
+    second = ContinuousBatchScheduler(max_batch=4, memory=TIGHT_SPEC)
+    assert first.memory is not second.memory
+    assert first.memory.spec is second.memory.spec
+    assert ContinuousBatchScheduler(max_batch=4).memory is None
+
+
+def test_oom_prompt_raises_a_capacity_error():
+    """A prompt that fits neither DRAM nor flash can never be admitted."""
+    spec = MemorySpec(dram_bytes=1 * MiB, spill_capacity_bytes=0)
+    arrivals = PoissonWorkload(1.0, PAYLOAD, seed=0).generate(3)
+    with pytest.raises(ValueError, match="does not fit"):
+        _serve(arrivals, memory=spec)

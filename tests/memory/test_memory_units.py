@@ -1,0 +1,355 @@
+"""Unit tests for the repro.memory building blocks.
+
+Each component is exercised in isolation — spec validation and scaling,
+integer footprints, the DRAM ledger, write-coalescing flush behaviour,
+FTL liveness/GC accounting, channel pricing — and then the composed
+:class:`KVMemoryModel` is checked against its byte-conservation
+invariants.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.api import InferenceRequest
+from repro.flash import FlashGeometry, FlashTiming
+from repro.llm.kv_cache import KVCache
+from repro.llm.models import get_model
+from repro.memory import (
+    DramPool,
+    FlashChannelModel,
+    KVFootprint,
+    KVMemoryModel,
+    MemorySpec,
+    PageMappedFTL,
+    WriteCoalescingCache,
+)
+from repro.units import GiB, MiB
+
+PAGE = FlashGeometry().page_bytes
+
+
+# -- MemorySpec ---------------------------------------------------------------
+
+def test_spec_defaults_are_paper_scale():
+    spec = MemorySpec()
+    assert spec.dram_bytes == 2 * GiB
+    assert spec.kv_bits == 16
+    assert spec.page_bytes == PAGE
+    assert spec.block_bytes == spec.flash.pages_per_block * PAGE
+    assert spec.spill_bytes == spec.flash.total_capacity_bytes
+
+
+def test_spec_rejects_bad_fields():
+    with pytest.raises(ValueError, match="dram_bytes"):
+        MemorySpec(dram_bytes=2.0 * GiB)  # float capacity would drift
+    with pytest.raises(ValueError, match="dram_bytes"):
+        MemorySpec(dram_bytes=0)
+    with pytest.raises(ValueError, match="write_cache_bytes"):
+        MemorySpec(write_cache_bytes=PAGE - 1)
+    with pytest.raises(ValueError, match="channel_share"):
+        MemorySpec(channel_share=0.0)
+    with pytest.raises(ValueError, match="channel_share"):
+        MemorySpec(channel_share=1.5)
+
+
+def test_spill_bytes_respects_reservation_and_cap():
+    total = FlashGeometry().total_capacity_bytes
+    assert MemorySpec(reserved_flash_bytes=total).spill_bytes == 0
+    assert MemorySpec(reserved_flash_bytes=total + 5).spill_bytes == 0
+    spec = MemorySpec(reserved_flash_bytes=1 * GiB, spill_capacity_bytes=2 * GiB)
+    assert spec.spill_bytes == 2 * GiB
+    spec = MemorySpec(reserved_flash_bytes=total - GiB, spill_capacity_bytes=2 * GiB)
+    assert spec.spill_bytes == GiB
+
+
+def test_spec_from_config_reads_the_table_ii_hardware():
+    from repro.core import get_config
+
+    config = get_config("L")
+    spec = MemorySpec.from_config(config)
+    assert spec.dram_bytes == int(config.npu.dram.capacity_bytes)
+    assert spec.dram_bandwidth_bytes_per_s == config.npu.dram.effective_bandwidth
+    assert spec.flash == config.flash
+    assert spec.kv_bits == config.kv_bits
+    override = MemorySpec.from_config(config, dram_bytes=1 * GiB)
+    assert override.dram_bytes == 1 * GiB
+
+
+def test_scaled_multiplies_capacity_but_not_the_weight_reservation():
+    spec = MemorySpec(
+        reserved_flash_bytes=1 * GiB, spill_capacity_bytes=4 * GiB,
+        write_cache_bytes=1 * MiB,
+    )
+    quad = spec.scaled(4)
+    assert quad.dram_bytes == 4 * spec.dram_bytes
+    assert quad.flash.blocks_per_plane == 4 * spec.flash.blocks_per_plane
+    assert quad.write_cache_bytes == 4 * MiB
+    assert quad.spill_capacity_bytes == 16 * GiB
+    # The weight image is *divided* across the shard group, not copied.
+    assert quad.reserved_flash_bytes == spec.reserved_flash_bytes
+    assert spec.scaled(1) is spec
+    with pytest.raises(ValueError):
+        spec.scaled(0)
+
+
+# -- KVFootprint --------------------------------------------------------------
+
+def test_footprint_matches_the_integer_kv_cache_math():
+    request = InferenceRequest(model="opt-6.7b", seq_len=500, batch_size=3)
+    footprint = KVFootprint.of_request(request, kv_bits=16)
+    cache = KVCache(get_model("opt-6.7b"), 500, bits_per_value=16)
+    assert footprint.prompt_bytes == 3 * cache.total_bytes_int
+    assert footprint.step_bytes == 3 * cache.write_bytes_per_decode_step_int()
+    assert footprint.total_bytes(10) == (
+        footprint.prompt_bytes + 10 * footprint.step_bytes
+    )
+
+
+def test_footprint_accepts_resolved_model_specs():
+    model = get_model("llama2-7b")
+    by_name = KVFootprint.of_request(InferenceRequest(model="llama2-7b", seq_len=64))
+    by_spec = KVFootprint.of_request(InferenceRequest(model=model, seq_len=64))
+    assert by_name == by_spec
+
+
+def test_footprint_rejects_negative_bytes():
+    with pytest.raises(ValueError):
+        KVFootprint(prompt_bytes=-1, step_bytes=0)
+
+
+# -- DramPool -----------------------------------------------------------------
+
+def test_pool_ledger_and_high_water():
+    pool = DramPool(100)
+    assert pool.free_bytes == 100 and pool.fits(100) and not pool.fits(101)
+    pool.admit(60)
+    pool.admit(40)
+    assert pool.free_bytes == 0 and pool.high_water_bytes == 100
+    pool.release(70)
+    assert pool.free_bytes == 70
+    assert pool.high_water_bytes == 100  # the mark never recedes
+    with pytest.raises(ValueError, match="admit"):
+        pool.admit(71)
+    with pytest.raises(ValueError, match="release"):
+        pool.release(31)
+    with pytest.raises(ValueError):
+        pool.admit(-1)
+    with pytest.raises(ValueError):
+        DramPool(0)
+
+
+# -- WriteCoalescingCache -----------------------------------------------------
+
+def test_write_cache_flushes_whole_pages_at_capacity():
+    cache = WriteCoalescingCache(capacity_bytes=4 * PAGE, page_bytes=PAGE)
+    assert cache.absorb(3 * PAGE) == 0  # below threshold: buffered
+    assert cache.buffered_bytes == 3 * PAGE
+    pages = cache.absorb(PAGE + 7)  # crosses the threshold
+    assert pages == 4  # every whole page goes; the 7-byte tail stays
+    assert cache.buffered_bytes == 7
+    assert cache.flushed_pages == 4 and cache.flushes == 1
+    assert cache.absorbed_bytes == 4 * PAGE + 7
+
+
+def test_write_cache_drop_clamps_to_buffered():
+    cache = WriteCoalescingCache(capacity_bytes=2 * PAGE, page_bytes=PAGE)
+    cache.absorb(PAGE)
+    cache.drop(5 * PAGE)
+    assert cache.buffered_bytes == 0
+    with pytest.raises(ValueError):
+        cache.absorb(-1)
+    with pytest.raises(ValueError):
+        WriteCoalescingCache(capacity_bytes=PAGE - 1, page_bytes=PAGE)
+
+
+# -- PageMappedFTL ------------------------------------------------------------
+
+def test_ftl_capacity_keeps_one_block_of_gc_slack():
+    ftl = PageMappedFTL(num_blocks=3, pages_per_block=4)
+    assert ftl.capacity_pages == 8
+    with pytest.raises(ValueError, match="num_blocks"):
+        PageMappedFTL(num_blocks=1, pages_per_block=4)
+
+
+def test_ftl_write_and_invalidate_track_liveness():
+    ftl = PageMappedFTL(num_blocks=3, pages_per_block=4)
+    assert ftl.write(8) == 0
+    assert ftl.live_pages == 8 and ftl.page_writes == 8
+    ftl.invalidate(5)  # the five oldest pages
+    assert ftl.live_pages == 3
+    with pytest.raises(ValueError, match="invalidate"):
+        ftl.invalidate(4)
+    with pytest.raises(ValueError, match="exceeds the spill area"):
+        ftl.write(6)
+
+
+def test_ftl_gc_triggers_and_reclaims_a_dead_block():
+    ftl = PageMappedFTL(num_blocks=3, pages_per_block=4)
+    ftl.write(8)
+    ftl.invalidate(8)
+    ftl.write(4)  # fills the last free block
+    ftl.write(4)  # no free block left: GC must erase a dead one
+    assert ftl.erases == 1
+    assert ftl.gc_page_copies == 0
+    assert ftl.live_pages == 8
+
+
+def test_ftl_fifo_consumption_makes_gc_copy_free():
+    """Oldest-first invalidation keeps invalid pages a prefix of the write
+    order, so the GC victim is always fully dead: write amplification 1.0.
+    A seeded stress run pins the property (and the ledger invariants)."""
+    rng = random.Random(7)
+    ftl = PageMappedFTL(num_blocks=4, pages_per_block=8)
+    for _ in range(2000):
+        if rng.random() < 0.55 and ftl.live_pages < ftl.capacity_pages:
+            ftl.write(rng.randint(1, ftl.capacity_pages - ftl.live_pages))
+        elif ftl.live_pages:
+            ftl.invalidate(rng.randint(1, ftl.live_pages))
+        assert 0 <= ftl.live_pages <= ftl.capacity_pages
+    assert ftl.erases > 0  # the loop really exercised GC
+    assert ftl.gc_page_copies == 0
+    assert ftl.page_writes >= ftl.live_pages
+
+
+# -- FlashChannelModel --------------------------------------------------------
+
+def test_channel_pricing_spreads_pages_across_channels():
+    geometry = FlashGeometry()
+    timing = FlashTiming()
+    channel = FlashChannelModel(geometry, timing)
+    per_read = (
+        timing.command_overhead_seconds
+        + timing.read_seconds
+        + timing.register_transfer_seconds
+        + timing.page_transfer_seconds(geometry.page_bytes)
+    )
+    # One page per channel: a full batch costs the same as a single page.
+    assert channel.read_seconds(1) == pytest.approx(per_read)
+    assert channel.read_seconds(geometry.channels) == pytest.approx(per_read)
+    assert channel.read_seconds(geometry.channels + 1) == pytest.approx(2 * per_read)
+    assert channel.read_seconds(0) == 0.0
+    assert channel.write_seconds(0) == 0.0 and channel.erase_seconds(0) == 0.0
+    assert channel.pages_for_bytes(1) == 1
+    assert channel.pages_for_bytes(geometry.page_bytes + 1) == 2
+
+
+def test_channel_share_inflates_every_price():
+    geometry, timing = FlashGeometry(), FlashTiming()
+    full = FlashChannelModel(geometry, timing, channel_share=1.0)
+    half = FlashChannelModel(geometry, timing, channel_share=0.5)
+    assert half.read_seconds(4) == pytest.approx(2 * full.read_seconds(4))
+    assert half.write_seconds(4) == pytest.approx(2 * full.write_seconds(4))
+    assert half.erase_seconds(2) == pytest.approx(2 * full.erase_seconds(2))
+    with pytest.raises(ValueError):
+        FlashChannelModel(geometry, timing, channel_share=0.0)
+
+
+# -- KVMemoryModel ------------------------------------------------------------
+
+def _small_model(**overrides) -> KVMemoryModel:
+    fields = dict(
+        dram_bytes=8 * MiB,
+        write_cache_bytes=4 * PAGE,
+        spill_capacity_bytes=64 * MiB,
+    )
+    fields.update(overrides)
+    return KVMemoryModel(MemorySpec(**fields))
+
+
+def _check_invariants(model: KVMemoryModel) -> None:
+    assert model.spilled_bytes == (
+        model.flash_spilled_bytes + model.write_cache.buffered_bytes
+    )
+    if model.ftl is not None:
+        assert model.ftl.live_pages == math.ceil(
+            model.flash_spilled_bytes / model.spec.page_bytes
+        )
+
+
+def test_model_spill_refill_discard_conserve_bytes():
+    model = _small_model()
+    seconds = model.spill(10 * PAGE + 3)
+    assert seconds > 0
+    assert model.spilled_bytes == 10 * PAGE + 3
+    _check_invariants(model)
+    assert model.refill(4 * PAGE) > 0
+    assert model.spilled_bytes == 6 * PAGE + 3
+    _check_invariants(model)
+    model.discard(6 * PAGE + 3)
+    assert model.spilled_bytes == 0
+    _check_invariants(model)
+    report = model.report()
+    assert report.spill_events == 1 and report.refill_events == 1
+    assert report.spill_bytes == 10 * PAGE + 3
+    assert report.refill_bytes == 4 * PAGE
+    assert report.spilled_peak_bytes == 10 * PAGE + 3
+
+
+def test_model_stress_conserves_bytes_under_a_seeded_mix():
+    rng = random.Random(13)
+    model = _small_model()
+    for _ in range(800):
+        roll = rng.random()
+        if roll < 0.5 and model.flash_free_bytes > 2 * PAGE:
+            model.spill(rng.randint(1, 2 * PAGE))
+        elif roll < 0.75 and model.spilled_bytes:
+            model.refill(rng.randint(1, model.spilled_bytes))
+        elif model.spilled_bytes:
+            model.discard(rng.randint(1, model.spilled_bytes))
+        _check_invariants(model)
+    report = model.report()
+    assert report.flash_pages_written == model.ftl.page_writes
+    assert report.write_cache_flushes == model.write_cache.flushes
+
+
+def test_model_guards_reject_overdrafts():
+    model = _small_model()
+    with pytest.raises(ValueError, match="spill"):
+        model.spill(model.flash_free_bytes + 1)
+    with pytest.raises(ValueError):
+        model.spill(0)
+    with pytest.raises(ValueError, match="refill"):
+        model.refill(1)
+    with pytest.raises(ValueError, match="discard"):
+        model.discard(1)
+
+
+def test_model_without_spill_room_degrades_to_dram_only():
+    model = _small_model(spill_capacity_bytes=0)
+    assert model.ftl is None
+    assert model.spill_capacity_bytes == 0
+    assert model.flash_free_bytes == 0
+    assert model.readthrough_seconds() == 0.0
+    report = model.report()
+    assert report.flash_pages_written == 0 and report.erases == 0
+
+
+def test_readthrough_prices_only_the_flash_resident_pages():
+    model = _small_model()
+    model.spill(2 * PAGE)  # below the flush threshold: all still buffered
+    assert model.flash_spilled_bytes == 0
+    assert model.readthrough_seconds() == 0.0
+    model.spill(3 * PAGE)  # crosses it: pages land in flash
+    assert model.flash_spilled_bytes > 0
+    before = model.flash_pages_read
+    assert model.readthrough_seconds() > 0.0
+    assert model.flash_pages_read == before + model.ftl.live_pages
+
+
+def test_footprint_memo_returns_identical_objects():
+    model = _small_model()
+    request = InferenceRequest(model="opt-6.7b", seq_len=128)
+    assert model.footprint(request) is model.footprint(request)
+
+
+def test_report_rows_render_every_counter_group():
+    model = _small_model()
+    model.spill(6 * PAGE)
+    rows = model.report().rows()
+    labels = [label for label, _ in rows]
+    assert "DRAM high water" in labels
+    assert "KV spills / refills" in labels
+    assert "flash pages written / read" in labels
+    assert all(isinstance(value, str) for _, value in rows)
