@@ -36,6 +36,7 @@ sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
 from repro.api import ExperimentRunner, InferenceRequest  # noqa: E402
 from repro.fleet import JoinShortestQueueRouter, build_fleet, simulate_fleet  # noqa: E402
 from repro.memory import MemorySpec  # noqa: E402
+from repro.obs import PhaseProfiler, SpanRecorder  # noqa: E402
 from repro.units import MiB  # noqa: E402
 from repro.serving import (  # noqa: E402
     BackendCostModel,
@@ -432,6 +433,47 @@ def _rss_probe_main(mode):
     return 0
 
 
+def bench_obs_overhead(num_requests=5000, gen_tokens=64):
+    """The observability contract, priced: the continuous-batching loop
+    bare (``recorder=None`` — the path every other scenario, including
+    ``serving_stream_1M`` and its bars, runs on), with a ``SpanRecorder``
+    attached, and with a ``PhaseProfiler`` timing the loop's own phases.
+    Byte identity across all three is part of ``--check``; the recorded/
+    profiled wall clocks document what opting in costs."""
+    payload = InferenceRequest(model="llama2-7b", seq_len=512, gen_tokens=gen_tokens)
+    arrivals = _overload_arrivals(payload, num_requests, seed=5)
+    cost = BackendCostModel(BACKEND)
+
+    def run(recorder=None, profiler=None):
+        return simulate(
+            arrivals,
+            cost,
+            ContinuousBatchScheduler(max_batch=MAX_BATCH),
+            recorder=recorder,
+            profiler=profiler,
+        )
+
+    run()  # warm the profile cache
+    bare_s, bare = _timed_best(lambda: run())
+    # Fresh recorder per trial: a shared one would accumulate events.
+    recorded_s, _ = _timed_best(lambda: run(recorder=SpanRecorder()))
+    recorder = SpanRecorder()
+    recorded = run(recorder=recorder)
+    profiler = PhaseProfiler()
+    profiled_s, profiled = _timed(lambda: run(profiler=profiler))
+    return {
+        "num_requests": num_requests,
+        "gen_tokens": gen_tokens,
+        "seconds": bare_s,
+        "recorded_seconds": recorded_s,
+        "recorder_overhead": recorded_s / bare_s,
+        "events_recorded": len(recorder.events),
+        "profiled_seconds": profiled_s,
+        "phases": profiler.summary(),
+        "byte_identical": bare.to_csv() == recorded.to_csv() == profiled.to_csv(),
+    }
+
+
 SCENARIOS = {
     "serving_continuous_5k_256": bench_serving_continuous,
     "fleet_jsq_4dev_2k_128": bench_fleet_jsq,
@@ -481,7 +523,20 @@ def main(argv=None):
             f"({row['speedup']:.1f}x), identical={row['byte_identical']}"
         )
 
-    record = {"suite": "serving-perf", "schema_version": 1, "scenarios": results}
+    print("[obs] running ...", flush=True)
+    obs = bench_obs_overhead()
+    print(
+        f"[obs] bare {obs['seconds']:.2f}s, recorded {obs['recorded_seconds']:.2f}s "
+        f"({obs['recorder_overhead']:.2f}x, {obs['events_recorded']} events), "
+        f"identical={obs['byte_identical']}"
+    )
+
+    record = {
+        "suite": "serving-perf",
+        "schema_version": 1,
+        "scenarios": results,
+        "obs": obs,
+    }
     with open(args.output, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -491,6 +546,8 @@ def main(argv=None):
         failures = [
             name for name, row in results.items() if not row["byte_identical"]
         ]
+        if not obs["byte_identical"]:
+            failures.append("obs")
         if failures:
             raise SystemExit(f"outputs diverged in: {', '.join(failures)}")
         # Coalescing must still collapse an order of magnitude of events

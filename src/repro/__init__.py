@@ -52,6 +52,16 @@ spills to flash through a write-coalescing cache and a page-mapped FTL,
 refills pay modeled channel time, sharding multiplies a replica's
 capacity (rescuing OOM configs in ``size_fleet``), and the ``headroom``
 router steers arrivals to the replica with the most free KV DRAM.
+
+:mod:`repro.obs` watches all of it without perturbing any of it: a
+:class:`SpanRecorder` passed to either event loop captures request
+phases, admission verdicts, coalescing caps, spills and routing
+decisions on the *simulated* clock (exportable as Perfetto/Chrome trace
+JSON), a :class:`MetricsRegistry` absorbs a finished report into a
+Prometheus-text :class:`MetricsSnapshot`, and a :class:`PhaseProfiler`
+times the loops' own wall-clock phases.  Attaching any of them never
+changes a trace CSV, a report, or a makespan — the disabled path costs
+zero per-event work.
 """
 
 from repro.api import (
@@ -120,8 +130,18 @@ from repro.memory import (
     MemoryReport,
     MemorySpec,
 )
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRecorder,
+    PhaseProfiler,
+    Recorder,
+    SpanRecorder,
+    fleet_snapshot,
+    serving_snapshot,
+)
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",
@@ -202,4 +222,13 @@ __all__ = [
     "KVFootprint",
     "KVMemoryModel",
     "MemoryReport",
+    # observability
+    "Recorder",
+    "NullRecorder",
+    "SpanRecorder",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "PhaseProfiler",
+    "serving_snapshot",
+    "fleet_snapshot",
 ]

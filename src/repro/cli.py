@@ -171,6 +171,22 @@ def _grid_command(args: argparse.Namespace) -> int:
         print(f"\nWrote {len(results)} rows to {args.csv}")
     info = runner.cache_info()
     print(f"\n{len(results)} results ({info['misses']} runs, {info['hits']} cache hits)")
+    if args.show_cache_stats:
+        stats = runner.stats()
+        rows = [
+            ["profile hits", stats["hits"]],
+            ["profile misses", stats["misses"]],
+            ["backend evaluations", stats["misses"]],
+            ["profile entries", stats["size"]],
+            ["in flight", stats["in_flight"]],
+        ]
+        if args.markdown:
+            from repro.reporting import format_markdown_table
+
+            print()
+            print(format_markdown_table(["counter", "value"], rows))
+        else:
+            print_table("Cache stats", ["counter", "value"], rows)
     return 0
 
 
@@ -304,6 +320,46 @@ def _emit_report(
     return 0
 
 
+def _emit_observability(args: argparse.Namespace, recorder, snapshot_fn) -> None:
+    """Write ``--trace-out`` / ``--metrics-out`` artifacts, if asked for.
+
+    ``snapshot_fn`` is a thunk building the :class:`repro.obs.MetricsSnapshot`
+    (deferred so runs without ``--metrics-out`` never pay for one).
+    """
+    if recorder is not None:
+        recorder.to_perfetto(args.trace_out)
+        print(
+            f"\nWrote {len(recorder.events)} trace events "
+            f"(Perfetto JSON) to {args.trace_out}"
+        )
+    if args.metrics_out is not None:
+        snapshot = snapshot_fn()
+        snapshot.to_prometheus(args.metrics_out)
+        print(
+            f"Wrote {len(snapshot.samples)} metric samples "
+            f"(Prometheus text) to {args.metrics_out}"
+        )
+
+
+def _serving_recorder(args: argparse.Namespace, searching: bool):
+    """The ``--trace-out`` recorder (None without the flag).
+
+    A capacity/sizing search runs many simulations; a single Perfetto
+    trace of "the search" would interleave them meaninglessly, so the
+    flag is rejected there rather than silently recording the last probe.
+    """
+    if args.trace_out is None:
+        return None
+    if searching:
+        raise SystemExit(
+            "--trace-out records one simulation's spans; it cannot "
+            "follow a capacity/sizing search"
+        )
+    from repro.obs import SpanRecorder
+
+    return SpanRecorder()
+
+
 def _cache_stats_table(cost_models, runner: ExperimentRunner):
     """One (title, headers, rows) extra table for ``--show-cache-stats``.
 
@@ -362,6 +418,7 @@ def _serve_command(args: argparse.Namespace) -> int:
     runner = ExperimentRunner()
     cost = BackendCostModel(args.backend, runner=runner)
     probe_rows = None
+    recorder = _serving_recorder(args, searching=args.find_max_qps)
 
     if args.find_max_qps:
         if slo is None:
@@ -407,6 +464,7 @@ def _serve_command(args: argparse.Namespace) -> int:
             slo=slo,
             trace_sink=args.stream_trace,
             keep_records=args.stream_trace is None,
+            recorder=recorder,
         )
         headers, rows = report.summary_rows()
         title = (
@@ -422,6 +480,12 @@ def _serve_command(args: argparse.Namespace) -> int:
     )
     if args.stream_trace is not None:
         print(f"\nStreamed {report.num_requests} request rows to {args.stream_trace}")
+    def _snapshot():
+        from repro.obs import serving_snapshot
+
+        return serving_snapshot(report, cost_model=cost)
+
+    _emit_observability(args, recorder, _snapshot)
     return code
 
 
@@ -506,6 +570,7 @@ def _fleet_command(args: argparse.Namespace) -> int:
 
     probe_rows = None
     cost_models: List[object] = []
+    recorder = _serving_recorder(args, searching=args.size_for_qps is not None)
 
     if args.size_for_qps is not None:
         if slo is None:
@@ -588,6 +653,7 @@ def _fleet_command(args: argparse.Namespace) -> int:
             slo=slo,
             trace_sink=args.stream_trace,
             keep_records=args.stream_trace is None,
+            recorder=recorder,
         )
         cost_models = [device.cost for device in fleet]
         headers, rows = report.summary_rows()
@@ -611,6 +677,12 @@ def _fleet_command(args: argparse.Namespace) -> int:
     )
     if args.stream_trace is not None:
         print(f"\nStreamed {report.num_requests} request rows to {args.stream_trace}")
+    def _snapshot():
+        from repro.obs import fleet_snapshot
+
+        return fleet_snapshot(report, cost_models=cost_models)
+
+    _emit_observability(args, recorder, _snapshot)
     return code
 
 
@@ -664,6 +736,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", action="store_true", help="print a markdown table instead"
     )
     grid.add_argument("--workers", type=int, default=None, help="thread-pool width")
+    grid.add_argument(
+        "--show-cache-stats", action="store_true",
+        help="print the shared ExperimentRunner's profile-cache counters "
+             "(matches the serve/fleet flag)",
+    )
     grid.set_defaults(handler=_grid_command)
 
     serve = subparsers.add_parser(
@@ -803,6 +880,17 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
         help="stream the per-request trace to PATH as requests finish "
              "(byte-identical to --csv but with O(in-flight) memory; "
              "incompatible with --csv and with the capacity/sizing searches)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record the simulation with a repro.obs SpanRecorder and write "
+             "a Perfetto/Chrome trace-event JSON here (keyed on simulated "
+             "time; never changes the simulation's results)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the final report as a Prometheus text-format metrics "
+             "snapshot (repro.obs.MetricsSnapshot exposition)",
     )
     parser.add_argument(
         "--parallel", type=int, default=1, metavar="N",

@@ -17,6 +17,7 @@ from typing import List, Optional, Tuple, Union
 from repro.api.backend import Backend
 from repro.api.runner import ExperimentRunner
 from repro.fleet.sharding import ShardedBackend, ShardingSpec
+from repro.obs.recorder import record_request_phases
 from repro.serving.request import RequestRecord
 from repro.serving.scheduler import FCFSScheduler, Occupancy, Scheduler
 from repro.serving.simulator import BackendCostModel
@@ -151,13 +152,14 @@ class Device:
         """
         if not self.idle:
             return
-        occupancy = self.scheduler.next_occupancy(
+        scheduler = self.scheduler
+        occupancy = scheduler.next_occupancy(
             now, self.cost, horizon=horizon, max_steps=max_steps
         )
         if self.queue_stats is not None:
-            self.queue_stats.add(now, self.scheduler.waiting)
+            self.queue_stats.add(now, scheduler.waiting)
         else:
-            self.queue_depth.append((now, self.scheduler.waiting))
+            self.queue_depth.append((now, scheduler.waiting))
         if occupancy is None:
             return
         if occupancy.seconds < 0:
@@ -165,12 +167,29 @@ class Device:
         self.busy_until = occupancy.end_time(now)
         self.busy_s += occupancy.seconds
         self._occupancy = occupancy
+        # Mirror the fleet loop's inlined recording, so a directly-driven
+        # device (tests, notebooks) traces identically to a fleet run.
+        recorder = scheduler.recorder
+        if recorder is not None:
+            recorder.span(
+                scheduler.track,
+                occupancy.kind,
+                now,
+                self.busy_until,
+                {
+                    "steps": occupancy.steps,
+                    "completed": len(occupancy.completed),
+                },
+            )
 
     def complete(self, now: float) -> List[RequestRecord]:
         """Finish the in-flight occupancy: stamp and release its records."""
         completed = self._occupancy.completed
+        recorder = self.scheduler.recorder
         for record in completed:
             record.finish_s = now
+            if recorder is not None:
+                record_request_phases(recorder, "requests", record)
             self.outstanding -= 1
             if self.track_work:
                 self.outstanding_work_s -= self.job_seconds(record)

@@ -56,6 +56,9 @@ class FleetReport:
     #: run (``records`` is empty then); every merged metric is answered
     #: from these instead.
     streamed: Optional[StreamedMetrics] = None
+    #: Global event-heap debug counters (``{"pushes", "pops",
+    #: "max_depth"}``); None when built outside the event loop.
+    event_queue: Optional[Dict[str, int]] = None
 
     # -- fleet shape ---------------------------------------------------------
     @property
@@ -157,6 +160,14 @@ class FleetReport:
             ["TPOT p50/p95/p99 (ms)", percentile_triplet(tpot, scale=1e3)],
             ["e2e p50/p95/p99 (s)", percentile_triplet(e2e)],
         ]
+        if self.event_queue is not None:
+            heap = self.event_queue
+            rows.append(
+                [
+                    "event heap push/pop/depth",
+                    f"{heap['pushes']}/{heap['pops']}/{heap['max_depth']}",
+                ]
+            )
         if self.num_completed != self.num_requests:
             rows.insert(3, ["completed", self.num_completed])
         if self.slo is not None:

@@ -63,6 +63,28 @@ class Router:
     #: fleet loop skips per-record work-estimate bookkeeping for policies
     #: that never look at it (two cost-model lookups per request).
     needs_work_estimates = False
+    #: Observability hook (:class:`repro.obs.Recorder`), attached by the
+    #: fleet loop.  Policies emit one "route" instant per decision with
+    #: the per-candidate scores they compared; emissions are read-only,
+    #: so an attached recorder never changes an assignment.
+    recorder = None
+    #: Recorder track routing instants land on.
+    track = "router"
+
+    def _record_route(
+        self, record: RequestRecord, now: float, index: int, scores
+    ) -> None:
+        """Emit one routing decision (callers guard on ``recorder``)."""
+        self.recorder.instant(
+            self.track,
+            "route",
+            now,
+            {
+                "request_id": record.request_id,
+                "device": index,
+                "scores": scores,
+            },
+        )
 
     def route(
         self, record: RequestRecord, devices: Sequence[Device], now: float
@@ -99,6 +121,8 @@ class RoundRobinRouter(Router):
     ) -> int:
         index = self._next % len(devices)
         self._next = index + 1
+        if self.recorder is not None:
+            self._record_route(record, now, index, None)
         return index
 
 
@@ -144,13 +168,22 @@ class JoinShortestQueueRouter(Router):
     ) -> int:
         counts = self._counts
         if counts is None or len(counts) != len(devices):
-            return self._argmin([device.outstanding for device in devices])
+            scores = [device.outstanding for device in devices]
+            index = self._argmin(scores)
+            if self.recorder is not None:
+                self._record_route(record, now, index, scores)
+            return index
         heap = self._heap
         while True:
             count, index = heap[0]
             if count == counts[index]:
                 break
             heapq.heappop(heap)
+        if self.recorder is not None:
+            # The mirror holds every candidate's live count — the scores
+            # the scan would have compared — captured before the winner's
+            # increment.  The heap itself is untouched by recording.
+            self._record_route(record, now, index, list(counts))
         counts[index] = count + 1
         # The chosen entry just went stale; swap it for the fresh count.
         heapq.heapreplace(heap, (count + 1, index))
@@ -171,7 +204,11 @@ class LeastWorkRouter(Router):
     def route(
         self, record: RequestRecord, devices: Sequence[Device], now: float
     ) -> int:
-        return self._argmin([device.outstanding_work_s for device in devices])
+        scores = [device.outstanding_work_s for device in devices]
+        index = self._argmin(scores)
+        if self.recorder is not None:
+            self._record_route(record, now, index, scores)
+        return index
 
 
 class SLOAwareRouter(Router):
@@ -188,12 +225,14 @@ class SLOAwareRouter(Router):
     def route(
         self, record: RequestRecord, devices: Sequence[Device], now: float
     ) -> int:
-        return self._argmin(
-            [
-                device.outstanding_work_s + device.job_seconds(record)
-                for device in devices
-            ]
-        )
+        scores = [
+            device.outstanding_work_s + device.job_seconds(record)
+            for device in devices
+        ]
+        index = self._argmin(scores)
+        if self.recorder is not None:
+            self._record_route(record, now, index, scores)
+        return index
 
 
 class MemoryHeadroomRouter(Router):
@@ -221,12 +260,14 @@ class MemoryHeadroomRouter(Router):
     def route(
         self, record: RequestRecord, devices: Sequence[Device], now: float
     ) -> int:
-        return self._argmin(
-            [
-                (-device.free_dram_bytes, device.outstanding)
-                for device in devices
-            ]
-        )
+        scores = [
+            (-device.free_dram_bytes, device.outstanding)
+            for device in devices
+        ]
+        index = self._argmin(scores)
+        if self.recorder is not None:
+            self._record_route(record, now, index, scores)
+        return index
 
 
 #: Router factories by CLI/registry name.

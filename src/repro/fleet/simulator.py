@@ -42,6 +42,7 @@ from repro.fleet.device import Device
 from repro.fleet.report import FLEET_TRACE_CSV_FIELDS, FleetReport
 from repro.fleet.router import JoinShortestQueueRouter, Router
 from repro.fleet.sharding import ShardingSpec
+from repro.obs.recorder import record_request_phases
 from repro.serving.events import COMPLETION, EventQueue
 from repro.serving.metrics import (
     ServingReport,
@@ -111,6 +112,8 @@ def simulate_fleet(
     fail_fast: bool = False,
     trace_sink: Optional[TraceSink] = None,
     keep_records: bool = True,
+    recorder=None,
+    profiler=None,
 ) -> FleetReport:
     """Run the arrival stream across the fleet and merge the timelines.
 
@@ -129,6 +132,14 @@ def simulate_fleet(
     (fleet-wide and per-device).  Lazy (non-list) streams combined with
     ``keep_records=False`` are consumed incrementally and cannot be used
     with ``fail_fast``.
+
+    Observability mirrors :func:`repro.serving.simulator.simulate`:
+    ``recorder`` receives per-replica occupancy spans (tracks
+    ``device0..N``), per-request phase spans (track ``requests``, tagged
+    with the routed device), router decision instants with per-candidate
+    scores (track ``router``), and per-replica memory instants (tracks
+    ``memory0..N``); ``profiler`` times the loop's dispatch/planning/fold
+    phases on the wall clock.  Neither changes a single simulated float.
     """
     router = router if router is not None else JoinShortestQueueRouter()
     if max_steps is not None and max_steps < 1:
@@ -162,6 +173,27 @@ def simulate_fleet(
     # rejected call never poisons a router that routed nothing.
     router.used = True
     router.attach(devices)
+    # Normalize the observability hooks once (see ``simulate``): with a
+    # disabled recorder ``rec`` stays None and the hot loop pays only
+    # identity checks.  Attached recorders get per-replica track names so
+    # the Perfetto export renders one lane per device/memory model.
+    rec = recorder if recorder is not None and recorder.enabled else None
+    device_tracks: List[str] = []
+    if rec is not None:
+        router.recorder = rec
+        for index, device in enumerate(devices):
+            track = f"device{index}"
+            device_tracks.append(track)
+            device.scheduler.recorder = rec
+            device.scheduler.track = track
+            memory_model = device.memory
+            if memory_model is not None:
+                memory_model.recorder = rec
+                memory_model.track = f"memory{index}"
+    # The profiler supplies its own clock — this module imports no time
+    # source, matching the serving package's no-wall-clock rule.
+    prof_add = profiler.add if profiler is not None else None
+    prof_clock = profiler.clock if profiler is not None else None
     for device in devices:
         device.track_work = router.needs_work_estimates
         if not keep_records:
@@ -234,6 +266,10 @@ def simulate_fleet(
     heap_push = heapq.heappush
     heap_pop = heapq.heappop
     seq = queue._seq
+    # Heap debug counters, maintained as locals exactly like ``seq`` (the
+    # loop drives the heap directly) and written back with it below.
+    pops = queue._pops
+    heap_max_depth = queue._max_depth
     #: Whether the router reads per-device work estimates (mirrors the
     #: ``device.track_work`` flags set above) and the per-device scheduler
     #: enqueue hooks, hoisted for the arrival path.
@@ -249,8 +285,11 @@ def simulate_fleet(
             # completions in device-index order — the linear scan's
             # tie-break (see repro.serving.events).
             if heap and heap[0][0] <= now:
+                if prof_add is not None:
+                    t0 = prof_clock()
                 while heap and heap[0][0] <= now:
                     index = heap_pop(heap)[2]
+                    pops += 1
                     device = devices[index]
                     # ``Device.complete`` inlined (same statements, same
                     # order): most completions are prefills with nothing
@@ -262,6 +301,10 @@ def simulate_fleet(
                         device.outstanding -= len(completed)
                         for record in completed:
                             record.finish_s = now
+                            if rec is not None:
+                                record_request_phases(
+                                    rec, "requests", record, {"device": index}
+                                )
                             if track_work:
                                 device.outstanding_work_s -= device.job_seconds(
                                     record
@@ -279,6 +322,8 @@ def simulate_fleet(
                                     del live[id(record)]
                     on_completed(index, device)
                     touched.add(index)
+                if prof_add is not None:
+                    prof_add("fold", prof_clock() - t0)
                 # Attainment can no longer reach the threshold even if
                 # everything still in flight meets the SLO: the probe is
                 # decided, stop here.
@@ -290,6 +335,8 @@ def simulate_fleet(
                     early_exit = True
                     break
             # 2. Deliver and route arrivals due now.
+            if prof_add is not None:
+                t0 = prof_clock()
             while True:
                 due = source.head_time
                 if due is None or due > now:
@@ -321,6 +368,8 @@ def simulate_fleet(
                 elif live is not None:
                     live[id(record)] = (record, index)
                 touched.add(index)
+            if prof_add is not None:
+                prof_add("dispatch", prof_clock() - t0)
             # 3. Touched idle devices plan (sampling their queue depth as
             # they do), in device-index order.  Untouched devices need no
             # attempt: their schedulers saw no arrival and no completion,
@@ -334,6 +383,8 @@ def simulate_fleet(
             # fleet's sample stream identical to ``simulate()``'s).
             horizon = source.head_time
             if touched:
+                if prof_add is not None:
+                    t0 = prof_clock()
                 # A single touched device (the common case: one arrival or
                 # one completion) needs no sort.  The body below is
                 # ``Device.maybe_start`` inlined — same statements, same
@@ -367,7 +418,24 @@ def simulate_fleet(
                                 device._occupancy = occupancy
                                 seq += 1
                                 heap_push(heap, (end, COMPLETION, index, seq))
+                                if len(heap) > heap_max_depth:
+                                    heap_max_depth = len(heap)
+                                if rec is not None:
+                                    rec.span(
+                                        device_tracks[index],
+                                        occupancy.kind,
+                                        now,
+                                        end,
+                                        {
+                                            "steps": occupancy.steps,
+                                            "completed": len(
+                                                occupancy.completed
+                                            ),
+                                        },
+                                    )
                 touched.clear()
+                if prof_add is not None:
+                    prof_add("planning", prof_clock() - t0)
             # 4. Advance to the next event, or stop.
             if heap:
                 next_completion = heap[0][0]
@@ -387,6 +455,8 @@ def simulate_fleet(
                 now = horizon
 
         queue._seq = seq
+        queue._pops = pops
+        queue._max_depth = heap_max_depth
         for device in devices:
             device.finalize(now)
             if device.backend_name is None:
@@ -446,4 +516,5 @@ def simulate_fleet(
         num_events=num_events,
         early_exit=early_exit,
         streamed=fleet_metrics,
+        event_queue=queue.stats(),
     )

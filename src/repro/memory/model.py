@@ -77,6 +77,17 @@ class KVMemoryModel:
     #: Cap on the per-request footprint memo (mirrors the scheduler memos).
     MEMO_SIZE = 4096
 
+    #: Observability hook (:class:`repro.obs.Recorder`): set by the event
+    #: loops alongside the scheduler's.  Emissions are read-only — the
+    #: byte ledgers never consult the recorder or the clock below.
+    recorder = None
+    #: Recorder track for spill/refill/GC instants; the fleet loop
+    #: renames it per replica (``memory0``, ``memory1``, ...).
+    track = "memory"
+    #: Simulated time of the current planning call, synced by the
+    #: scheduler on recorder-attached runs (the model itself is clockless).
+    now_s = 0.0
+
     def __init__(self, spec: MemorySpec):
         self.spec = spec
         self.pool = DramPool(spec.dram_bytes)
@@ -148,6 +159,7 @@ class KVMemoryModel:
         self.spill_bytes_total += num_bytes
         seconds = num_bytes / self.spec.dram_bandwidth_bytes_per_s
         pages = self.write_cache.absorb(num_bytes)
+        copies = erased = 0
         if pages:
             ftl = self.ftl
             erases_before = ftl.erases
@@ -157,9 +169,25 @@ class KVMemoryModel:
             if copies:
                 self.flash_pages_read += copies
                 seconds += self.channel.read_seconds(copies)
-            seconds += self.channel.erase_seconds(ftl.erases - erases_before)
+            erased = ftl.erases - erases_before
+            seconds += self.channel.erase_seconds(erased)
         if self.spilled_bytes > self.spilled_peak_bytes:
             self.spilled_peak_bytes = self.spilled_bytes
+        rec = self.recorder
+        if rec is not None:
+            rec.instant(
+                self.track,
+                "spill",
+                self.now_s,
+                {"bytes": num_bytes, "pages": pages, "seconds": seconds},
+            )
+            if copies or erased:
+                rec.instant(
+                    self.track,
+                    "gc",
+                    self.now_s,
+                    {"page_copies": copies, "erases": erased},
+                )
         return seconds
 
     def refill(self, num_bytes: int) -> float:
@@ -178,6 +206,7 @@ class KVMemoryModel:
         self.refill_bytes_total += num_bytes
         seconds = num_bytes / self.spec.dram_bandwidth_bytes_per_s
         from_flash = min(num_bytes, self.flash_spilled_bytes)
+        pages_read = 0
         if from_flash:
             page = self.spec.page_bytes
             pages_read = -(-from_flash // page)
@@ -186,6 +215,14 @@ class KVMemoryModel:
             self._drop_flash(from_flash)
         if num_bytes > from_flash:
             self.write_cache.drop(num_bytes - from_flash)
+        rec = self.recorder
+        if rec is not None:
+            rec.instant(
+                self.track,
+                "refill",
+                self.now_s,
+                {"bytes": num_bytes, "pages": pages_read, "seconds": seconds},
+            )
         return seconds
 
     def discard(self, num_bytes: int) -> None:

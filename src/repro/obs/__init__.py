@@ -1,0 +1,57 @@
+"""repro.obs — deterministic tracing, metrics, and profiling hooks.
+
+Three independent instruments over the serving/fleet/memory stack:
+
+* :mod:`repro.obs.recorder` — sim-time span/instant tracer with a
+  zero-overhead disabled default and byte-stable Perfetto export;
+* :mod:`repro.obs.metrics` — labeled counters/gauges/histograms behind
+  one :class:`MetricsSnapshot` with Prometheus text exposition;
+* :mod:`repro.obs.profile` — opt-in *wall-clock* phase timers
+  (explicitly outside the determinism guarantee).
+
+The cardinal rule, enforced by the byte-identity test battery: attaching
+any of these never changes what the simulation computes — traces,
+reports and makespans are identical with and without observers.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    fleet_snapshot,
+    serving_snapshot,
+)
+from repro.obs.profile import PhaseProfiler
+from repro.obs.recorder import (
+    DECODE,
+    PREFILL,
+    QUEUE,
+    REFILL,
+    NullRecorder,
+    Recorder,
+    SpanRecorder,
+    record_request_phases,
+)
+
+__all__ = [
+    "Counter",
+    "DECODE",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullRecorder",
+    "PhaseProfiler",
+    "PREFILL",
+    "QUEUE",
+    "Recorder",
+    "REFILL",
+    "SpanRecorder",
+    "fleet_snapshot",
+    "record_request_phases",
+    "serving_snapshot",
+]

@@ -40,7 +40,7 @@ index order.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 #: Event kinds, in tie-break order (see the module docstring).
 COMPLETION = 0
@@ -61,11 +61,13 @@ class EventQueue:
     arranges equal-priority siblings.
     """
 
-    __slots__ = ("_heap", "_seq")
+    __slots__ = ("_heap", "_seq", "_pops", "_max_depth")
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._seq = 0
+        self._pops = 0
+        self._max_depth = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -76,7 +78,10 @@ class EventQueue:
     def push(self, time: float, kind: int = COMPLETION, index: int = 0) -> None:
         """Schedule an event at ``time`` (device/stream ``index``)."""
         self._seq += 1
-        heapq.heappush(self._heap, (time, kind, index, self._seq))
+        heap = self._heap
+        heapq.heappush(heap, (time, kind, index, self._seq))
+        if len(heap) > self._max_depth:
+            self._max_depth = len(heap)
 
     def peek_time(self) -> Optional[float]:
         """Time of the next event, or None when the queue is empty."""
@@ -84,6 +89,7 @@ class EventQueue:
 
     def pop(self) -> Event:
         """Remove and return the next event (raises IndexError when empty)."""
+        self._pops += 1
         return heapq.heappop(self._heap)
 
     def pop_due(self, now: float) -> List[Event]:
@@ -92,4 +98,33 @@ class EventQueue:
         heap = self._heap
         while heap and heap[0][0] <= now:
             due.append(heapq.heappop(heap))
+        self._pops += len(due)
         return due
+
+    # -- debug counters ------------------------------------------------------
+    # The heap's lifetime totals are pure functions of the event sequence,
+    # so they are deterministic and safe to surface on reports.  The fleet
+    # loop, which drives the heap through hoisted locals, maintains the
+    # same counters locally and writes them back here before reporting.
+    @property
+    def pushes(self) -> int:
+        """Events ever scheduled (the push counter doubles as the seq)."""
+        return self._seq
+
+    @property
+    def pops(self) -> int:
+        """Events ever removed (``pop`` and ``pop_due`` combined)."""
+        return self._pops
+
+    @property
+    def max_depth(self) -> int:
+        """Largest number of events simultaneously in the heap."""
+        return self._max_depth
+
+    def stats(self) -> Dict[str, int]:
+        """``{"pushes", "pops", "max_depth"}`` for report debug metrics."""
+        return {
+            "pushes": self._seq,
+            "pops": self._pops,
+            "max_depth": self._max_depth,
+        }

@@ -327,6 +327,12 @@ class ServingReport:
     #: (:class:`repro.memory.MemoryReport`); None when the scheduler ran
     #: without a memory model.
     memory: Optional["MemoryReport"] = None
+    #: Event-heap debug counters (``{"pushes", "pops", "max_depth"}`` from
+    #: :meth:`repro.serving.events.EventQueue.stats`); None when the
+    #: report was built outside the event loop.  Deterministic — a pure
+    #: function of the event sequence — and absorbed by the
+    #: :mod:`repro.obs.metrics` registry.
+    event_queue: Optional[Dict[str, int]] = None
 
     def __post_init__(self) -> None:
         #: metric name -> sorted values, so repeated percentile queries
@@ -525,6 +531,14 @@ class ServingReport:
             ["e2e p50/p95/p99 (s)", percentile_triplet(e2e)],
             ["queue depth mean/max", f"{self.mean_queue_depth:.2f}/{self.max_queue_depth}"],
         ]
+        if self.event_queue is not None:
+            heap = self.event_queue
+            rows.append(
+                [
+                    "event heap push/pop/depth",
+                    f"{heap['pushes']}/{heap['pops']}/{heap['max_depth']}",
+                ]
+            )
         if self.memory is not None:
             rows.extend([label, value] for label, value in self.memory.rows())
         if self.slo is not None:

@@ -98,10 +98,36 @@ class Occupancy:
         return self.end_s if self.end_s is not None else now + self.seconds
 
 
+def _cap_reason(
+    steps: int, limit: int, max_steps: Optional[int]
+) -> str:
+    """Why a coalesced decode occupancy stopped at ``steps``.
+
+    Only evaluated on recorder-attached runs (inside the emission guard):
+    ``horizon`` — an admissible arrival's step boundary was reached;
+    ``max_steps`` — the caller's coalescing cap; ``completion`` — the
+    next in-batch completion (the natural boundary).
+    """
+    if steps < limit:
+        return "horizon"
+    if max_steps is not None and steps == max_steps:
+        return "max_steps"
+    return "completion"
+
+
 class Scheduler:
     """Base policy: a FIFO waiting queue plus the planning hook."""
 
     name = "scheduler"
+    #: Observability hook (:class:`repro.obs.Recorder`): the event loops
+    #: attach an *enabled* recorder here before a run; None (the class
+    #: default) keeps every emission site a single identity check.
+    #: Emissions are read-only observations of decisions already made, so
+    #: attaching one never changes what the scheduler plans.
+    recorder = None
+    #: Recorder track this scheduler's decision instants land on; the
+    #: fleet loop renames it per replica (``device0``, ``device1``, ...).
+    track = "device"
 
     def __init__(self) -> None:
         self._waiting: Deque[RequestRecord] = deque()
@@ -276,6 +302,13 @@ class ContinuousBatchScheduler(Scheduler):
             self._step_memo.clear()
             self._memo_cost = cost
         memory = self.memory
+        rec = self.recorder
+        if rec is not None and memory is not None:
+            # The memory model's own spill/refill/GC instants need the
+            # simulated clock; it has no other view of it, so the planner
+            # syncs it once per planning call (recorder-attached runs only
+            # — the model's ledgers never read it).
+            memory.now_s = now
         # Admission first: fill free batch slots with waiting prefills so
         # new requests reach their first token as early as possible.
         if self._waiting and len(self._active) < self.max_batch:
@@ -302,6 +335,17 @@ class ContinuousBatchScheduler(Scheduler):
                     payloads[ident] = [request, 1]
                 else:
                     counted[1] += 1
+                if rec is not None:
+                    rec.instant(
+                        self.track,
+                        "admit",
+                        now,
+                        {
+                            "request_id": record.request_id,
+                            "verdict": "slot",
+                            "batch": len(self._active),
+                        },
+                    )
                 return Occupancy(PREFILL, ttft)
             occupancy = self._admit_with_memory(now, cost)
             if occupancy is not None:
@@ -352,7 +396,7 @@ class ContinuousBatchScheduler(Scheduler):
         if max_steps is not None and max_steps < limit:
             limit = max_steps
         if memory is not None:
-            return self._decode_with_memory(now, step, limit, horizon)
+            return self._decode_with_memory(now, step, limit, horizon, max_steps)
         # With a free slot, a future arrival is admissible at any step
         # boundary: stop at the first boundary that reaches the horizon
         # (with a full batch, arrivals can only queue — no cap needed).
@@ -377,6 +421,18 @@ class ContinuousBatchScheduler(Scheduler):
                 del payloads[id(request)]
             else:
                 counted[1] -= 1
+        if rec is not None:
+            rec.instant(
+                self.track,
+                "coalesce",
+                now,
+                {
+                    "steps": steps,
+                    "reason": _cap_reason(steps, limit, max_steps),
+                    "batch": len(active) + len(finished),
+                    "completed": len(finished),
+                },
+            )
         return Occupancy(
             DECODE,
             step if steps == 1 else end - now,
@@ -396,6 +452,7 @@ class ContinuousBatchScheduler(Scheduler):
         OOM, raised so sharding (which scales the spec) can rescue it.
         """
         memory = self.memory
+        rec = self.recorder
         record = self._waiting[0]
         request = record.source.request
         footprint = memory.footprint(request)
@@ -413,6 +470,18 @@ class ContinuousBatchScheduler(Scheduler):
                 "be admitted — shard the replica or scale the MemorySpec"
             )
         else:
+            if rec is not None:
+                rec.instant(
+                    self.track,
+                    "admit_blocked",
+                    now,
+                    {
+                        "request_id": record.request_id,
+                        "prompt_bytes": prompt,
+                        "free_dram_bytes": free,
+                        "free_flash_bytes": memory.flash_free_bytes,
+                    },
+                )
             return None
         self._waiting.popleft()
         memo = self._ttft_memo
@@ -444,6 +513,19 @@ class ContinuousBatchScheduler(Scheduler):
             counted[1] += 1
         # The spill write rides on the prefill occupancy; first_token_s
         # stays at now + ttft (the token exists before the cold KV moves).
+        if rec is not None:
+            rec.instant(
+                self.track,
+                "admit",
+                now,
+                {
+                    "request_id": record.request_id,
+                    "verdict": "dram" if not spilled else "dram+spill",
+                    "resident_bytes": resident,
+                    "spilled_bytes": spilled,
+                    "batch": len(self._active),
+                },
+            )
         return Occupancy(PREFILL, ttft + io_seconds)
 
     def _plan_refill(self) -> Optional[Occupancy]:
@@ -470,7 +552,12 @@ class ContinuousBatchScheduler(Scheduler):
         return Occupancy(REFILL, memory.refill(moved))
 
     def _decode_with_memory(
-        self, now: float, step: float, limit: int, horizon: Optional[float]
+        self,
+        now: float,
+        step: float,
+        limit: int,
+        horizon: Optional[float],
+        max_steps: Optional[int] = None,
     ) -> Occupancy:
         """Plan decode steps under the memory model.
 
@@ -490,12 +577,15 @@ class ContinuousBatchScheduler(Scheduler):
         growth = 0
         for entry in active:
             growth += entry[5]
+        regime_b = False
+        dram_capped = False
         if memory.spilled_bytes == 0 and growth <= pool.free_bytes:
             # Regime A — the DRAM-fill boundary caps the fast-forward.
             if growth:
                 cap = pool.free_bytes // growth
                 if cap < limit:
                     limit = cap
+                    dram_capped = True
             admission_open = horizon is not None and len(active) < self.max_batch
             steps, end = 1, now + step
             while steps < limit and not (admission_open and end >= horizon):
@@ -508,6 +598,7 @@ class ContinuousBatchScheduler(Scheduler):
             seconds = step if steps == 1 else end - now
         else:
             # Regime B — every step spills or touches flash; one step only.
+            regime_b = True
             io_seconds = memory.readthrough_seconds()
             free = pool.free_bytes
             admitted = 0
@@ -556,6 +647,25 @@ class ContinuousBatchScheduler(Scheduler):
                 pool.release(entry[3])
             if entry[4]:
                 memory.discard(entry[4])
+        rec = self.recorder
+        if rec is not None:
+            if regime_b:
+                reason = "spill"
+            elif dram_capped and steps == limit:
+                reason = "dram_fill"
+            else:
+                reason = _cap_reason(steps, limit, max_steps)
+            rec.instant(
+                self.track,
+                "coalesce",
+                now,
+                {
+                    "steps": steps,
+                    "reason": reason,
+                    "batch": len(active) + len(finished),
+                    "completed": len(finished),
+                },
+            )
         return Occupancy(
             DECODE,
             seconds,

@@ -55,6 +55,7 @@ from repro.api.backend import Backend
 from repro.api.request import InferenceRequest
 from repro.api.result import RunResult
 from repro.api.runner import ExperimentRunner
+from repro.obs.recorder import record_request_phases
 from repro.serving.events import COMPLETION, EventQueue
 from repro.serving.metrics import (
     ServingReport,
@@ -420,6 +421,8 @@ def simulate(
     fail_fast: bool = False,
     trace_sink: Optional[TraceSink] = None,
     keep_records: bool = True,
+    recorder=None,
+    profiler=None,
 ) -> ServingReport:
     """Run the arrival stream to completion and return the report.
 
@@ -460,6 +463,18 @@ def simulate(
     sorted), so even the arrival stream never materializes; lazy streams
     cannot be combined with ``fail_fast`` (its attainment arithmetic
     needs the total request count up front).
+
+    Observability: ``recorder`` (a :class:`repro.obs.Recorder`) receives
+    sim-time spans and instants — one span per device occupancy, one
+    QUEUE/PREFILL/DECODE span set per finished request, plus the
+    scheduler's and memory model's decision instants.  Every emission is
+    a read-only observation, so attaching a recorder never changes the
+    trace, the report, or the makespan; a disabled recorder (None or
+    ``NullRecorder``) costs nothing per event.  ``profiler`` (a
+    :class:`repro.obs.PhaseProfiler`) accumulates *wall-clock* seconds
+    around the loop's dispatch/planning/fold phases — explicitly outside
+    the determinism guarantee (it changes nothing but how fast the loop
+    runs).
     """
     scheduler = scheduler if scheduler is not None else FCFSScheduler()
     if scheduler.pending:
@@ -511,6 +526,20 @@ def simulate(
     elif metrics is not None and fail_fast:
         live = {}
 
+    # Normalize the observability hooks once: a disabled recorder (None
+    # or NullRecorder) leaves ``rec`` None, so every emission site in the
+    # loop below is a single predictable identity check.
+    rec = recorder if recorder is not None and recorder.enabled else None
+    if rec is not None:
+        scheduler.recorder = rec
+        memory_model = getattr(scheduler, "memory", None)
+        if memory_model is not None:
+            memory_model.recorder = rec
+    # The profiler supplies its own clock: this module never imports one
+    # (the no-wall-clock guard test keeps it honest).
+    prof_add = profiler.add if profiler is not None else None
+    prof_clock = profiler.clock if profiler is not None else None
+
     queue = EventQueue()
     now = 0.0
     busy = 0.0
@@ -524,6 +553,8 @@ def simulate(
         # attribute directly.
         while source.head_time is not None or scheduler.pending:
             num_events += 1
+            if prof_add is not None:
+                t0 = prof_clock()
             while True:
                 due = source.head_time
                 if due is None or due > now:
@@ -535,9 +566,14 @@ def simulate(
                 elif live is not None:
                     live[id(record)] = record
             horizon = source.head_time
+            if prof_add is not None:
+                t1 = prof_clock()
+                prof_add("dispatch", t1 - t0)
             occupancy = scheduler.next_occupancy(
                 now, cost, horizon=horizon, max_steps=max_steps
             )
+            if prof_add is not None:
+                prof_add("planning", prof_clock() - t1)
             # Sample *after* planning, so a request just placed on the device
             # no longer counts as waiting during the occupancy it started.
             if queue_stats is not None:
@@ -564,9 +600,30 @@ def simulate(
             # `occupancy.end_time(now)`, untouched).
             queue.push(occupancy.end_time(now), COMPLETION)
             busy += occupancy.seconds
-            now = queue.pop()[0]
+            if rec is None:
+                now = queue.pop()[0]
+            else:
+                # The span reads the same floats the loop computes anyway
+                # (push/pop are untouched), so recording cannot perturb
+                # the clock.
+                start = now
+                now = queue.pop()[0]
+                rec.span(
+                    scheduler.track,
+                    occupancy.kind,
+                    start,
+                    now,
+                    {
+                        "steps": occupancy.steps,
+                        "completed": len(occupancy.completed),
+                    },
+                )
+            if prof_add is not None:
+                t0 = prof_clock()
             for record in occupancy.completed:
                 record.finish_s = now
+                if rec is not None:
+                    record_request_phases(rec, "requests", record)
                 if fail_fast and not slo.met_by(record):
                     missed += 1
                 if streamer is not None:
@@ -575,6 +632,8 @@ def simulate(
                     metrics.fold(record, slo)
                     if live is not None:
                         del live[id(record)]
+            if prof_add is not None:
+                prof_add("fold", prof_clock() - t0)
             # Even if every not-yet-judged request met the SLO, attainment
             # could not reach the threshold: stop burning events on a probe
             # that is already decided (the report still reports the failure).
@@ -618,4 +677,5 @@ def simulate(
         early_exit=early_exit,
         streamed=metrics,
         memory=memory.report() if memory is not None else None,
+        event_queue=queue.stats(),
     )

@@ -85,14 +85,21 @@ class TraceStreamer:
         self._finished: set = set()
         self._next = 0
         self._count = 0
+        #: High-water mark of the reorder buffer — how far completion
+        #: order actually diverged from arrival order (a debug metric:
+        #: bounds the streamer's extra memory at O(max_buffered) records).
+        self.max_buffered = 0
 
     # -- event-loop interface ------------------------------------------------
     def register(self, record: RequestRecord) -> None:
         """Admit ``record`` to the trace in arrival order."""
         index = self._count
         self._count += 1
-        self._buffer[index] = record
+        buffer = self._buffer
+        buffer[index] = record
         self._index_of[id(record)] = index
+        if len(buffer) > self.max_buffered:
+            self.max_buffered = len(buffer)
 
     def finish(self, record: RequestRecord) -> None:
         """Mark ``record`` fully stamped; flush the ready prefix."""

@@ -1,0 +1,151 @@
+"""SpanRecorder semantics and the Perfetto trace-event export."""
+
+import json
+
+import pytest
+
+from repro.obs import DECODE, PREFILL, QUEUE, PhaseProfiler, SpanRecorder
+from repro.obs.recorder import record_request_phases
+
+
+def _sample() -> SpanRecorder:
+    recorder = SpanRecorder()
+    recorder.span("device", "decode", 0.0, 2.0, {"steps": 20})
+    recorder.instant("device", "admit", 0.5, {"request_id": 1})
+    recorder.span("requests", QUEUE, 0.0, 0.5, {"request_id": 1})
+    recorder.span("requests", DECODE, 1.0, 2.0, {"request_id": 1})
+    recorder.span("device", "decode", 2.0, 2.5, {"steps": 5})
+    return recorder
+
+
+class _Record:
+    request_id = 7
+    arrival_s = 1.0
+    prefill_start_s = 2.0
+    first_token_s = 3.0
+    finish_s = 5.0
+
+
+def test_recorder_collects_and_filters():
+    recorder = _sample()
+    assert len(recorder) == 5
+    assert len(recorder.spans()) == 4
+    assert len(recorder.spans("decode")) == 2
+    assert len(recorder.instants("admit")) == 1
+    assert recorder.instants("nope") == []
+    assert recorder.tracks() == ["device", "requests"]
+
+
+def test_top_spans_ranks_by_total_duration():
+    ranked = _sample().top_spans()
+    assert ranked[0] == ("decode", 2.5, 2)
+    # Ties (1.0s vs ... ) then alphabetical; QUEUE 0.5 last.
+    assert [name for name, _, _ in ranked] == ["decode", DECODE, QUEUE]
+    assert _sample().top_spans(1) == [("decode", 2.5, 2)]
+
+
+def test_record_request_phases_emits_the_three_spans():
+    recorder = SpanRecorder()
+    record_request_phases(recorder, "requests", _Record(), {"device": 3})
+    names = [event[2] for event in recorder.events]
+    assert names == [QUEUE, PREFILL, DECODE]
+    spans = {event[2]: (event[3], event[3] + event[4]) for event in recorder.events}
+    assert spans == {QUEUE: (1.0, 2.0), PREFILL: (2.0, 3.0), DECODE: (3.0, 5.0)}
+    assert all(e[5] == {"request_id": 7, "device": 3} for e in recorder.events)
+
+
+@pytest.mark.parametrize(
+    "missing, expected",
+    [
+        ("prefill_start_s", []),
+        ("first_token_s", [QUEUE]),
+        ("finish_s", [QUEUE, PREFILL]),
+    ],
+)
+def test_record_request_phases_guards_partial_stamps(missing, expected):
+    record = _Record()
+    setattr(record, missing, None)
+    recorder = SpanRecorder()
+    record_request_phases(recorder, "requests", record)
+    assert [event[2] for event in recorder.events] == expected
+
+
+# -- Perfetto export ----------------------------------------------------------
+
+def test_perfetto_schema():
+    text = _sample().to_perfetto()
+    document = json.loads(text)
+    assert set(document) == {"displayTimeUnit", "traceEvents"}
+    events = document["traceEvents"]
+    # One thread_name metadata record per track, leading the stream.
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert [m["args"]["name"] for m in metadata] == ["device", "requests"]
+    assert events[: len(metadata)] == metadata
+    tids = {m["args"]["name"]: m["tid"] for m in metadata}
+    assert tids == {"device": 0, "requests": 1}
+    spans = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(spans) == 4 and len(instants) == 1
+    # Simulated seconds map to trace microseconds.
+    first = spans[0]
+    assert first["ts"] == 0.0 and first["dur"] == 2e6
+    assert first["tid"] == tids["device"]
+    assert instants[0]["s"] == "t" and instants[0]["ts"] == 0.5e6
+    assert all(e["pid"] == 0 for e in events)
+
+
+def test_perfetto_is_byte_stable():
+    assert _sample().to_perfetto() == _sample().to_perfetto()
+    # Compact, sorted-keys serialization: no whitespace, ordered keys.
+    text = _sample().to_perfetto()
+    assert ": " not in text
+    assert text.index('"displayTimeUnit"') < text.index('"traceEvents"')
+
+
+def test_perfetto_writes_the_file(tmp_path):
+    path = tmp_path / "trace.json"
+    text = _sample().to_perfetto(str(path))
+    assert path.read_text() == text + "\n"
+    assert json.loads(path.read_text())["traceEvents"]
+
+
+def test_empty_recorder_exports_an_empty_trace():
+    assert json.loads(SpanRecorder().to_perfetto())["traceEvents"] == []
+
+
+# -- PhaseProfiler ------------------------------------------------------------
+
+def test_profiler_accumulates_phases():
+    profiler = PhaseProfiler()
+    profiler.add("planning", 0.25)
+    profiler.add("planning", 0.25)
+    profiler.add("fold", 0.1)
+    assert profiler.seconds == {"planning": 0.5, "fold": 0.1}
+    assert profiler.counts == {"planning": 2, "fold": 1}
+    assert profiler.total_seconds == pytest.approx(0.6)
+    summary = profiler.summary()
+    assert list(summary) == ["planning", "fold"]
+    assert summary["planning"] == {"seconds": 0.5, "count": 2}
+    rows = profiler.rows()
+    assert rows[0][0] == "wall planning (s)"
+    assert "(2 calls)" in rows[0][1]
+
+
+def test_profiler_context_manager_times_real_work():
+    profiler = PhaseProfiler()
+    with profiler.time("block"):
+        sum(range(1000))
+    assert profiler.counts == {"block": 1}
+    assert profiler.seconds["block"] >= 0.0
+
+
+def test_only_the_profiler_module_touches_the_wall_clock():
+    """recorder/metrics stay on simulated time; profile.py is the one
+    sanctioned wall-clock reader (mirrors the serving package guard)."""
+    import repro.obs.metrics
+    import repro.obs.recorder
+
+    for module in (repro.obs.recorder, repro.obs.metrics):
+        source = open(module.__file__).read()
+        for needle in ("import time", "from time", "perf_counter", "datetime"):
+            assert needle not in source, (module.__name__, needle)
