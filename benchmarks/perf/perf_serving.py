@@ -36,7 +36,7 @@ sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
 from repro.api import ExperimentRunner, InferenceRequest  # noqa: E402
 from repro.fleet import JoinShortestQueueRouter, build_fleet, simulate_fleet  # noqa: E402
 from repro.memory import MemorySpec  # noqa: E402
-from repro.obs import PhaseProfiler, SpanRecorder  # noqa: E402
+from repro.obs import PhaseProfiler, SpanRecorder, TimelineCollector  # noqa: E402
 from repro.units import MiB  # noqa: E402
 from repro.serving import (  # noqa: E402
     BackendCostModel,
@@ -474,6 +474,51 @@ def bench_obs_overhead(num_requests=5000, gen_tokens=64):
     }
 
 
+def bench_timeline_overhead(num_requests=5000, gen_tokens=64, window_s=60.0):
+    """The windowed-telemetry path, priced the same way: the loop bare
+    versus with a ``TimelineCollector`` folding every emission into
+    fixed windows (including the finalize-time queue-depth sweep).
+    Byte identity is part of ``--check``; the fold's wall clock and the
+    window count document what the timeline costs."""
+    payload = InferenceRequest(model="llama2-7b", seq_len=512, gen_tokens=gen_tokens)
+    arrivals = _overload_arrivals(payload, num_requests, seed=5)
+    cost = BackendCostModel(BACKEND)
+    slo = SLOSpec(ttft_s=10.0, e2e_s=60.0)
+
+    def run(recorder=None):
+        return simulate(
+            arrivals,
+            cost,
+            ContinuousBatchScheduler(max_batch=MAX_BATCH),
+            slo=slo,
+            recorder=recorder,
+        )
+
+    run()  # warm the profile cache
+    bare_s, bare = _timed_best(lambda: run())
+    # Fresh collector per trial: finalized windows reject new emissions.
+    observed_s, _ = _timed_best(
+        lambda: run(recorder=TimelineCollector(window_s=window_s, slo=slo))
+    )
+    collector = TimelineCollector(window_s=window_s, slo=slo)
+    observed = run(recorder=collector)
+    rows = collector.to_rows()
+    return {
+        "num_requests": num_requests,
+        "gen_tokens": gen_tokens,
+        "window_s": window_s,
+        "seconds": bare_s,
+        "observed_seconds": observed_s,
+        "timeline_overhead": observed_s / bare_s,
+        "windows": len(rows),
+        "completions_folded": sum(row["completions"] for row in rows),
+        "byte_identical": (
+            bare.to_csv() == observed.to_csv()
+            and sum(row["completions"] for row in rows) == observed.num_completed
+        ),
+    }
+
+
 SCENARIOS = {
     "serving_continuous_5k_256": bench_serving_continuous,
     "fleet_jsq_4dev_2k_128": bench_fleet_jsq,
@@ -531,6 +576,16 @@ def main(argv=None):
         f"identical={obs['byte_identical']}"
     )
 
+    print("[obs.timeline] running ...", flush=True)
+    timeline = bench_timeline_overhead()
+    print(
+        f"[obs.timeline] bare {timeline['seconds']:.2f}s, observed "
+        f"{timeline['observed_seconds']:.2f}s "
+        f"({timeline['timeline_overhead']:.2f}x, {timeline['windows']} windows), "
+        f"identical={timeline['byte_identical']}"
+    )
+    obs["timeline"] = timeline
+
     record = {
         "suite": "serving-perf",
         "schema_version": 1,
@@ -548,6 +603,8 @@ def main(argv=None):
         ]
         if not obs["byte_identical"]:
             failures.append("obs")
+        if not obs["timeline"]["byte_identical"]:
+            failures.append("obs.timeline")
         if failures:
             raise SystemExit(f"outputs diverged in: {', '.join(failures)}")
         # Coalescing must still collapse an order of magnitude of events

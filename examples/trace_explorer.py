@@ -13,7 +13,14 @@ continuous-batching run so the memory model spills hot, then:
    from the recorder — no JSON round trip needed,
 4. proves the observer effect is zero: the recorded run's trace CSV is
    byte-identical to an unrecorded one,
-5. snapshots the report as Prometheus text (`serving_snapshot`).
+5. snapshots the report as Prometheus text (`serving_snapshot`),
+6. folds the same emission stream into a windowed timeline
+   (`TimelineCollector`, tee'd alongside the span recorder) and writes
+   ``trace_explorer_timeline.csv``,
+7. attributes the critical path (`critical_path`): where the aggregate
+   and tail time went, and the occupancy chain the makespan sits on,
+8. replays the bundled flash-crowd trace with SLO burn-rate alert rules
+   attached and prints the deterministic fire/resolve log.
 
 Run with::
 
@@ -30,13 +37,29 @@ import random
 
 from repro.api import InferenceRequest
 from repro.memory import MemorySpec
-from repro.obs import SpanRecorder, serving_snapshot
+from repro.obs import (
+    SpanRecorder,
+    TeeRecorder,
+    TimelineCollector,
+    burn_rate_pack,
+    critical_path,
+    serving_snapshot,
+)
 from repro.reporting import print_table
-from repro.serving import ContinuousBatchScheduler, PoissonWorkload, simulate
+from repro.serving import (
+    ContinuousBatchScheduler,
+    PoissonWorkload,
+    SLOSpec,
+    load_bundled_trace,
+    simulate,
+)
 from repro.units import MiB
 
 SEED = 11
 OUT = os.path.join(os.path.dirname(__file__), "trace_explorer.json")
+TIMELINE_OUT = os.path.join(
+    os.path.dirname(__file__), "trace_explorer_timeline.csv"
+)
 
 #: opt-6.7b at 16-bit KV: a 500-token prompt owes 250 MiB of residency,
 #: so a 384 MiB DRAM pool fits ~1.5 prompts — admissions spill hot.
@@ -60,7 +83,8 @@ def _run(recorder=None):
 
 def main() -> None:
     recorder = SpanRecorder()
-    report = _run(recorder)
+    timeline = TimelineCollector(window_s=5.0)
+    report = _run(TeeRecorder(recorder, timeline))
 
     # -- 1. the timeline, exported -------------------------------------------
     recorder.to_perfetto(OUT)
@@ -105,6 +129,61 @@ def main() -> None:
         f"Metrics snapshot: {len(snapshot.samples)} samples; "
         f"repro_kv_memory_ops_total{{op=\"spill\"}} = {spill_ops:g}"
     )
+
+    # -- 6. the run as a windowed timeline ------------------------------------
+    timeline.to_csv(TIMELINE_OUT)
+    rows = timeline.to_rows()
+    assert sum(r["completions"] for r in rows) == report.num_completed
+    print(
+        f"\nWrote {len(rows)} timeline windows ({timeline.window_s:g}s wide) "
+        f"to {TIMELINE_OUT}"
+    )
+    busiest = max(rows, key=lambda r: r["completions"])
+    print_table(
+        f"Busiest window: #{busiest['window']} "
+        f"[{busiest['start_s']:g}s, {busiest['end_s']:g}s)",
+        ["metric", "value"],
+        [
+            ["arrivals / completions", f"{busiest['arrivals']} / {busiest['completions']}"],
+            ["queue depth mean/max", f"{busiest['queue_depth_mean']:.2f}/{busiest['queue_depth_max']}"],
+            ["device utilization", f"{busiest['utilization']:.2f}"],
+            ["KV spill bytes", busiest["kv_spill_bytes"]],
+            ["KV DRAM peak (bytes)", busiest["kv_dram_peak_bytes"]],
+        ],
+    )
+
+    # -- 7. critical-path attribution -----------------------------------------
+    analysis = critical_path(recorder)
+    headers, table = analysis.attribution_rows()
+    print_table("Critical-path attribution", headers, table)
+    chain = analysis.makespan_chain
+    print(
+        f"Makespan chain: {chain.spans} back-to-back occupancies on "
+        f"{chain.track!r}, [{chain.start_s:.1f}s, {chain.end_s:.1f}s]"
+    )
+
+    # -- 8. the flash crowd, with burn-rate alerts attached -------------------
+    # Thresholds the quiet baseline meets comfortably, so the burn-rate
+    # rules stay silent until the ~40x spike lands and the backlog
+    # starts eating the error budget.
+    slo = SLOSpec(ttft_s=60.0, e2e_s=120.0, min_attainment=0.9)
+    alerting = TimelineCollector(
+        window_s=30.0, slo=slo, rules=burn_rate_pack(slo.min_attainment, 30.0)
+    )
+    crowd = simulate(
+        load_bundled_trace("flash_crowd").generate(300),
+        "cambricon",
+        ContinuousBatchScheduler(max_batch=8),
+        slo=slo,
+        recorder=alerting,
+    )
+    print(
+        f"\nFlash crowd: {crowd.num_completed} requests, "
+        f"SLO attainment {crowd.slo_attainment(slo):.2f}"
+    )
+    headers, table = crowd.alerts.summary_rows()
+    print_table("Alerts (simulated clock)", headers, table)
+    assert crowd.alerts.fires(), "the flash crowd should have paged someone"
 
 
 if __name__ == "__main__":

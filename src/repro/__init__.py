@@ -57,11 +57,16 @@ router steers arrivals to the replica with the most free KV DRAM.
 :class:`SpanRecorder` passed to either event loop captures request
 phases, admission verdicts, coalescing caps, spills and routing
 decisions on the *simulated* clock (exportable as Perfetto/Chrome trace
-JSON), a :class:`MetricsRegistry` absorbs a finished report into a
-Prometheus-text :class:`MetricsSnapshot`, and a :class:`PhaseProfiler`
-times the loops' own wall-clock phases.  Attaching any of them never
-changes a trace CSV, a report, or a makespan — the disabled path costs
-zero per-event work.
+JSON), a :class:`TimelineCollector` folds the same emissions into
+fixed-width metric windows (rates, goodput, queue depth, utilization,
+KV DRAM occupancy, exact per-window latency percentiles) with
+SLO-burn-rate alert rules evaluated as windows close, a
+:func:`critical_path` pass attributes where the tail latency and the
+makespan actually went, a :class:`MetricsRegistry` absorbs a finished
+report into a Prometheus-text :class:`MetricsSnapshot`, and a
+:class:`PhaseProfiler` times the loops' own wall-clock phases.
+Attaching any of them never changes a trace CSV, a report, or a
+makespan — the disabled path costs zero per-event work.
 """
 
 from repro.api import (
@@ -131,17 +136,24 @@ from repro.memory import (
     MemorySpec,
 )
 from repro.obs import (
+    AlertLog,
+    BurnRateRule,
     MetricsRegistry,
     MetricsSnapshot,
     NullRecorder,
     PhaseProfiler,
     Recorder,
     SpanRecorder,
+    SustainedRule,
+    TeeRecorder,
+    ThresholdRule,
+    TimelineCollector,
+    critical_path,
     fleet_snapshot,
     serving_snapshot,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",
@@ -226,6 +238,13 @@ __all__ = [
     "Recorder",
     "NullRecorder",
     "SpanRecorder",
+    "TeeRecorder",
+    "TimelineCollector",
+    "AlertLog",
+    "ThresholdRule",
+    "SustainedRule",
+    "BurnRateRule",
+    "critical_path",
     "MetricsRegistry",
     "MetricsSnapshot",
     "PhaseProfiler",

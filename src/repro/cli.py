@@ -341,23 +341,98 @@ def _emit_observability(args: argparse.Namespace, recorder, snapshot_fn) -> None
         )
 
 
-def _serving_recorder(args: argparse.Namespace, searching: bool):
-    """The ``--trace-out`` recorder (None without the flag).
+def _serving_observers(args: argparse.Namespace, searching: bool):
+    """Build the run's observers: ``(recorder, span_recorder, timeline)``.
 
-    A capacity/sizing search runs many simulations; a single Perfetto
-    trace of "the search" would interleave them meaninglessly, so the
-    flag is rejected there rather than silently recording the last probe.
+    ``recorder`` is what the simulation gets (a single observer, a
+    ``TeeRecorder`` composing both, or None); ``span_recorder`` feeds
+    ``--trace-out`` / ``--attribution`` and ``timeline`` feeds
+    ``--timeline-out`` / ``--alerts``.  A capacity/sizing search runs
+    many simulations; a single trace or timeline of "the search" would
+    interleave them meaninglessly, so every observer flag is rejected
+    there rather than silently recording the last probe.
     """
-    if args.trace_out is None:
-        return None
+    wants_spans = args.trace_out is not None or args.attribution
+    wants_timeline = args.timeline_out is not None or args.alerts
+    if not wants_spans and not wants_timeline:
+        return None, None, None
     if searching:
         raise SystemExit(
-            "--trace-out records one simulation's spans; it cannot "
-            "follow a capacity/sizing search"
+            "--trace-out/--attribution/--timeline-out/--alerts observe one "
+            "simulation; they cannot follow a capacity/sizing search"
         )
-    from repro.obs import SpanRecorder
+    span_recorder = timeline = None
+    if wants_spans:
+        from repro.obs import SpanRecorder
 
-    return SpanRecorder()
+        span_recorder = SpanRecorder()
+    if wants_timeline:
+        from repro.obs import TimelineCollector, burn_rate_pack
+
+        slo = _serving_slo(args)
+        rules = ()
+        if args.alerts:
+            if slo is None:
+                raise SystemExit(
+                    "--alerts evaluates SLO burn-rate rules; give it an SLO "
+                    "(--slo-ttft/--slo-tpot/--slo-e2e)"
+                )
+            rules = burn_rate_pack(slo.min_attainment, args.timeline_window)
+        timeline = TimelineCollector(
+            window_s=args.timeline_window, slo=slo, rules=rules
+        )
+    if span_recorder is not None and timeline is not None:
+        from repro.obs import TeeRecorder
+
+        return TeeRecorder(span_recorder, timeline), span_recorder, timeline
+    # NB: not ``span_recorder or timeline`` — an empty SpanRecorder is falsy.
+    single = span_recorder if span_recorder is not None else timeline
+    return single, span_recorder, timeline
+
+
+def _emit_timeline(args: argparse.Namespace, timeline, report) -> None:
+    """Write ``--timeline-out`` and print the ``--alerts`` log."""
+    if timeline is None:
+        return
+    if args.timeline_out is not None:
+        timeline.to_csv(args.timeline_out)
+        print(
+            f"Wrote {len(timeline.to_rows())} timeline windows "
+            f"({timeline.window_s:g}s wide) to {args.timeline_out}"
+        )
+    if args.alerts:
+        log = report.alerts
+        headers, rows = log.summary_rows()
+        if not rows:
+            print("\nAlerts: none fired")
+        elif args.markdown:
+            from repro.reporting import format_markdown_table
+
+            print()
+            print(format_markdown_table(headers, rows))
+        else:
+            print_table("Alerts (simulated clock)", headers, rows)
+
+
+def _emit_attribution(args: argparse.Namespace, span_recorder) -> None:
+    """Print the ``--attribution`` critical-path tables."""
+    if not args.attribution:
+        return
+    from repro.obs import critical_path
+
+    analysis = critical_path(span_recorder)
+    tables = [
+        ("Critical-path attribution", analysis.attribution_rows()),
+        ("Makespan chains", analysis.chain_rows()),
+    ]
+    for title, (headers, rows) in tables:
+        if args.markdown:
+            from repro.reporting import format_markdown_table
+
+            print()
+            print(format_markdown_table(headers, rows))
+        else:
+            print_table(title, headers, rows)
 
 
 def _cache_stats_table(cost_models, runner: ExperimentRunner):
@@ -418,7 +493,9 @@ def _serve_command(args: argparse.Namespace) -> int:
     runner = ExperimentRunner()
     cost = BackendCostModel(args.backend, runner=runner)
     probe_rows = None
-    recorder = _serving_recorder(args, searching=args.find_max_qps)
+    recorder, span_recorder, timeline = _serving_observers(
+        args, searching=args.find_max_qps
+    )
 
     if args.find_max_qps:
         if slo is None:
@@ -485,7 +562,11 @@ def _serve_command(args: argparse.Namespace) -> int:
 
         return serving_snapshot(report, cost_model=cost)
 
-    _emit_observability(args, recorder, _snapshot)
+    _emit_observability(
+        args, span_recorder if args.trace_out is not None else None, _snapshot
+    )
+    _emit_timeline(args, timeline, report)
+    _emit_attribution(args, span_recorder)
     return code
 
 
@@ -570,7 +651,9 @@ def _fleet_command(args: argparse.Namespace) -> int:
 
     probe_rows = None
     cost_models: List[object] = []
-    recorder = _serving_recorder(args, searching=args.size_for_qps is not None)
+    recorder, span_recorder, timeline = _serving_observers(
+        args, searching=args.size_for_qps is not None
+    )
 
     if args.size_for_qps is not None:
         if slo is None:
@@ -682,7 +765,11 @@ def _fleet_command(args: argparse.Namespace) -> int:
 
         return fleet_snapshot(report, cost_models=cost_models)
 
-    _emit_observability(args, recorder, _snapshot)
+    _emit_observability(
+        args, span_recorder if args.trace_out is not None else None, _snapshot
+    )
+    _emit_timeline(args, timeline, report)
+    _emit_attribution(args, span_recorder)
     return code
 
 
@@ -891,6 +978,29 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
         "--metrics-out", default=None, metavar="PATH",
         help="write the final report as a Prometheus text-format metrics "
              "snapshot (repro.obs.MetricsSnapshot exposition)",
+    )
+    parser.add_argument(
+        "--timeline-out", default=None, metavar="PATH",
+        help="fold the run into fixed-width metric windows on the simulated "
+             "clock (repro.obs.TimelineCollector) and write them here as CSV "
+             "(never changes the simulation's results)",
+    )
+    parser.add_argument(
+        "--timeline-window", type=float, default=60.0, metavar="SEC",
+        help="window width in simulated seconds for --timeline-out/--alerts "
+             "(default 60)",
+    )
+    parser.add_argument(
+        "--alerts", action="store_true",
+        help="evaluate the default SLO burn-rate alert pack (fast + slow "
+             "multiwindow rules) as timeline windows close and print the "
+             "fire/resolve log; needs an SLO",
+    )
+    parser.add_argument(
+        "--attribution", action="store_true",
+        help="record the run's spans and print a critical-path attribution "
+             "table (queue/prefill/decode shares, flash I/O, per-device "
+             "makespan chains)",
     )
     parser.add_argument(
         "--parallel", type=int, default=1, metavar="N",

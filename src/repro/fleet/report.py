@@ -59,6 +59,10 @@ class FleetReport:
     #: Global event-heap debug counters (``{"pushes", "pops",
     #: "max_depth"}``); None when built outside the event loop.
     event_queue: Optional[Dict[str, int]] = None
+    #: :class:`repro.obs.alerts.AlertLog` from an attached
+    #: :class:`~repro.obs.timeline.TimelineCollector` with alert rules;
+    #: None when the run carried no alerting observer.
+    alerts: Optional["AlertLog"] = None
 
     # -- fleet shape ---------------------------------------------------------
     @property
@@ -176,6 +180,13 @@ class FleetReport:
                     ["SLO attainment (%)", 100.0 * self.slo_attainment()],
                     ["goodput (req/s)", self.goodput_rps()],
                     ["meets SLO", self.meets_slo()],
+                ]
+            )
+        if self.alerts is not None:
+            rows.append(
+                [
+                    "alerts (fired/resolved)",
+                    f"{len(self.alerts.fires())}/{len(self.alerts.resolves())}",
                 ]
             )
         return ["metric", "value"], rows

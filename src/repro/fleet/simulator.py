@@ -485,6 +485,11 @@ def simulate_fleet(
         if streamer is not None:
             streamer.release()
 
+    # Same contract as the single-device loop: a time-resolved recorder
+    # closes its windows on the fleet makespan and may return an AlertLog
+    # for the report; nothing it does can touch the trace or the clock.
+    alerts = rec.finalize_run(now) if rec is not None else None
+
     device_reports = []
     for index, device in enumerate(devices):
         streamed = None
@@ -517,4 +522,5 @@ def simulate_fleet(
         early_exit=early_exit,
         streamed=fleet_metrics,
         event_queue=queue.stats(),
+        alerts=alerts,
     )

@@ -1,0 +1,298 @@
+"""Declarative alerting over the timeline, on the simulated clock.
+
+An :class:`AlertRule` looks at the windowed rows a
+:class:`~repro.obs.timeline.TimelineCollector` produced and says whether
+its condition is breaching *as of* one window.  :func:`evaluate_alerts`
+walks the windows chronologically (exactly the order a streaming
+evaluator would see them close), tracks each rule's active state, and
+records a fire event on the first breaching window and a resolve event
+on the first clear one — yielding a deterministic, seed-stable
+:class:`AlertLog` whose timestamps are window-close times on the
+simulated clock.
+
+Three rule shapes ship:
+
+* :class:`ThresholdRule` — one window's metric against a bound,
+* :class:`SustainedRule` — the bound must hold for a duration
+  (consecutive windows) before the alert fires,
+* :class:`BurnRateRule` — multi-window SLO burn rate in the Google SRE
+  style: the error budget's consumption rate over a long *and* a short
+  trailing range must both exceed a factor, so the alert is fast on a
+  real regression and quiet on a blip (the short window also makes it
+  resolve promptly once the burn stops).
+
+Everything here is pure arithmetic over already-deterministic rows; no
+clocks, no randomness.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+_OPS = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+}
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One fire/resolve transition, stamped at its window's close."""
+
+    rule: str
+    kind: str  # "fire" | "resolve"
+    time_s: float
+    window: int
+    value: float
+
+
+class AlertLog:
+    """The chronological fire/resolve record of one evaluated run.
+
+    Equality compares the full event sequence, which is what the
+    determinism tests pin: same seed, same rules, same log.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[AlertEvent] = ()) -> None:
+        self.events: List[AlertEvent] = list(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AlertLog):
+            return NotImplemented
+        return self.events == other.events
+
+    def __repr__(self) -> str:
+        return f"AlertLog({self.events!r})"
+
+    def fires(self, rule: Optional[str] = None) -> List[AlertEvent]:
+        """Fire events, optionally for one rule."""
+        return [
+            event
+            for event in self.events
+            if event.kind == "fire" and (rule is None or event.rule == rule)
+        ]
+
+    def resolves(self, rule: Optional[str] = None) -> List[AlertEvent]:
+        """Resolve events, optionally for one rule."""
+        return [
+            event
+            for event in self.events
+            if event.kind == "resolve" and (rule is None or event.rule == rule)
+        ]
+
+    def summary_rows(self) -> Tuple[List[str], List[List[object]]]:
+        """(headers, rows) for :func:`repro.reporting.print_table`."""
+        rows = [
+            [event.rule, event.kind, event.time_s, event.window, event.value]
+            for event in self.events
+        ]
+        return ["alert", "event", "t (s)", "window", "value"], rows
+
+
+class AlertRule:
+    """Base protocol: judge one window (with its full history visible)."""
+
+    name = "alert"
+
+    def observe(
+        self, index: int, rows: Sequence[dict], window_s: float
+    ) -> Tuple[bool, float]:
+        """``(breaching, observed value)`` as of ``rows[index]``."""
+        raise NotImplementedError
+
+
+class ThresholdRule(AlertRule):
+    """Fire while one window's ``metric`` compares true against ``threshold``.
+
+    ``metric`` names a :data:`~repro.obs.timeline.TIMELINE_CSV_FIELDS`
+    column; a window where the metric is undefined (blank cell) never
+    breaches.
+    """
+
+    def __init__(self, name: str, metric: str, threshold: float, op: str = ">") -> None:
+        if op not in _OPS:
+            raise ValueError(f"op must be one of {sorted(_OPS)}, not {op!r}")
+        self.name = name
+        self.metric = metric
+        self.threshold = threshold
+        self.op = op
+
+    def _value(self, row: dict) -> Optional[float]:
+        return row.get(self.metric)
+
+    def observe(
+        self, index: int, rows: Sequence[dict], window_s: float
+    ) -> Tuple[bool, float]:
+        value = self._value(rows[index])
+        if value is None:
+            return False, 0.0
+        return _OPS[self.op](value, self.threshold), value
+
+
+class SustainedRule(ThresholdRule):
+    """A :class:`ThresholdRule` that must hold for ``for_s`` before firing.
+
+    The breach is judged over the trailing run of consecutive breaching
+    windows ending at the current one: the alert fires once that streak
+    covers ``for_s`` of simulated time, and resolves on the first clear
+    window (streak broken).
+    """
+
+    def __init__(
+        self, name: str, metric: str, threshold: float, for_s: float, op: str = ">"
+    ) -> None:
+        super().__init__(name, metric, threshold, op)
+        if for_s <= 0:
+            raise ValueError("for_s must be positive")
+        self.for_s = for_s
+
+    def observe(
+        self, index: int, rows: Sequence[dict], window_s: float
+    ) -> Tuple[bool, float]:
+        breaching, value = super().observe(index, rows, window_s)
+        if not breaching:
+            return False, value
+        needed = int(self.for_s / window_s)
+        if needed * window_s < self.for_s:
+            needed += 1
+        streak = 1
+        compare = _OPS[self.op]
+        while streak < needed and index - streak >= 0:
+            earlier = self._value(rows[index - streak])
+            if earlier is None or not compare(earlier, self.threshold):
+                break
+            streak += 1
+        return streak >= needed, value
+
+
+class BurnRateRule(AlertRule):
+    """Multi-window SLO burn-rate alert (Google SRE style).
+
+    The *burn rate* over a trailing range is the range's error rate
+    (1 - SLO-met completions / completions) divided by the error budget
+    (1 - ``objective``): burn 1.0 means the budget is being consumed
+    exactly at the sustainable rate.  The rule breaches when the burn
+    over the trailing ``long_s`` **and** the trailing ``short_s`` both
+    reach ``factor`` — the long range gives significance, the short
+    range makes the alert resolve quickly once the burn stops.  Windows
+    with no completions contribute nothing (an idle service burns no
+    budget).  Requires the timeline's ``slo_met`` column, i.e. a
+    collector built with an SLO.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        objective: float = 0.95,
+        long_s: float = 300.0,
+        short_s: float = 60.0,
+        factor: float = 2.0,
+    ) -> None:
+        if not 0.0 < objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if short_s > long_s:
+            raise ValueError("short_s must not exceed long_s")
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self.name = name
+        self.objective = objective
+        self.long_s = long_s
+        self.short_s = short_s
+        self.factor = factor
+
+    def _burn(self, index: int, rows: Sequence[dict], windows: int) -> float:
+        completions = 0
+        met = 0
+        for row in rows[max(0, index + 1 - windows) : index + 1]:
+            count = row["completions"]
+            if count:
+                completions += count
+                met += row["slo_met"] or 0
+        if completions == 0:
+            return 0.0
+        return (1.0 - met / completions) / (1.0 - self.objective)
+
+    def observe(
+        self, index: int, rows: Sequence[dict], window_s: float
+    ) -> Tuple[bool, float]:
+        if rows[index].get("slo_met") is None:
+            raise ValueError(
+                f"burn-rate rule {self.name!r} needs a timeline with an SLO "
+                "attached (the slo_met column is blank)"
+            )
+        long_windows = max(1, round(self.long_s / window_s))
+        short_windows = max(1, round(self.short_s / window_s))
+        long_burn = self._burn(index, rows, long_windows)
+        short_burn = self._burn(index, rows, short_windows)
+        return (
+            long_burn >= self.factor and short_burn >= self.factor,
+            long_burn,
+        )
+
+
+def burn_rate_pack(objective: float, window_s: float) -> Tuple[BurnRateRule, ...]:
+    """The CLI's default two-rule pack, scaled to the window width.
+
+    A *fast* rule (short ranges, high factor) pages on an acute burn
+    within a window or two; a *slow* rule (long ranges, factor 1) keeps
+    the alert held while the budget is merely being consumed too fast.
+    """
+    return (
+        BurnRateRule(
+            "slo-burn-fast",
+            objective=objective,
+            long_s=4 * window_s,
+            short_s=window_s,
+            factor=4.0,
+        ),
+        BurnRateRule(
+            "slo-burn-slow",
+            objective=objective,
+            long_s=12 * window_s,
+            short_s=3 * window_s,
+            factor=1.0,
+        ),
+    )
+
+
+def evaluate_alerts(
+    rows: Sequence[dict], window_s: float, rules: Sequence[AlertRule]
+) -> AlertLog:
+    """Evaluate ``rules`` over the windows, chronologically.
+
+    Windows close in order and rules are judged in their declared order
+    within each window, so the event sequence — and therefore the log —
+    is fully deterministic.  Fire/resolve timestamps are the closing
+    window's ``end_s``.
+    """
+    names = [rule.name for rule in rules]
+    if len(set(names)) != len(names):
+        raise ValueError(f"alert rule names must be unique: {names}")
+    active = {name: False for name in names}
+    events: List[AlertEvent] = []
+    for index, row in enumerate(rows):
+        for rule in rules:
+            breaching, value = rule.observe(index, rows, window_s)
+            if breaching and not active[rule.name]:
+                active[rule.name] = True
+                events.append(
+                    AlertEvent(rule.name, "fire", row["end_s"], index, value)
+                )
+            elif not breaching and active[rule.name]:
+                active[rule.name] = False
+                events.append(
+                    AlertEvent(rule.name, "resolve", row["end_s"], index, value)
+                )
+    return AlertLog(events)

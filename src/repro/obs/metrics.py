@@ -85,6 +85,48 @@ def _unescape_label(value: str) -> str:
     return "".join(out)
 
 
+def _unquote_label(quoted: str) -> str:
+    """Validate and unescape one ``"..."`` label value from exposition.
+
+    Strict: rejects (``ValueError``) anything :func:`_escape_label`
+    could not have produced — a missing quote, an unescaped interior
+    quote, or a backslash that swallows the closing quote — instead of
+    silently mis-parsing the line.
+    """
+    if len(quoted) < 2 or quoted[0] != '"' or quoted[-1] != '"':
+        raise ValueError(f"label value must be double-quoted: {quoted!r}")
+    out: List[str] = []
+    it = iter(quoted[1:-1])
+    for char in it:
+        if char == "\\":
+            nxt = next(it, None)
+            if nxt is None:
+                raise ValueError(f"label value ends in a bare backslash: {quoted!r}")
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, nxt))
+        elif char == '"':
+            raise ValueError(f"unescaped quote inside label value: {quoted!r}")
+        else:
+            out.append(char)
+    return "".join(out)
+
+
+def _escape_help(text: str) -> str:
+    """HELP-line escaping (Prometheus spec: ``\\`` and newlines only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _unescape_help(text: str) -> str:
+    out: List[str] = []
+    it = iter(text)
+    for char in it:
+        if char == "\\":
+            nxt = next(it, "")
+            out.append({"n": "\n", "\\": "\\"}.get(nxt, nxt))
+        else:
+            out.append(char)
+    return "".join(out)
+
+
 class _Family:
     """One named metric family: type, help text, labeled samples."""
 
@@ -266,7 +308,7 @@ class MetricsSnapshot:
         for family_name in sorted(set(self.families) | set(grouped)):
             kind, help_text = self.families.get(family_name, ("untyped", ""))
             if help_text:
-                lines.append(f"# HELP {family_name} {help_text}")
+                lines.append(f"# HELP {family_name} {_escape_help(help_text)}")
             lines.append(f"# TYPE {family_name} {kind}")
             for sample_name, labels, value in sorted(
                 grouped.get(family_name, ()),
@@ -304,7 +346,7 @@ class MetricsSnapshot:
                 continue
             if line.startswith("# HELP "):
                 name, _, help_text = line[len("# HELP ") :].partition(" ")
-                helps[name] = help_text
+                helps[name] = _unescape_help(help_text)
                 continue
             if line.startswith("# TYPE "):
                 name, _, kind = line[len("# TYPE ") :].partition(" ")
@@ -314,11 +356,17 @@ class MetricsSnapshot:
                 continue
             if "{" in line:
                 sample_name, _, rest = line.partition("{")
-                rendered, _, value_text = rest.rpartition("} ")
+                rendered, closed, value_text = rest.rpartition("} ")
+                if not closed:
+                    raise ValueError(f"malformed sample line: {line!r}")
                 labels: List[Tuple[str, str]] = []
                 for part in _split_labels(rendered):
-                    key, _, quoted = part.partition("=")
-                    labels.append((key, _unescape_label(quoted[1:-1])))
+                    key, equals, quoted = part.partition("=")
+                    if not equals or not key:
+                        raise ValueError(
+                            f"malformed label {part!r} in line: {line!r}"
+                        )
+                    labels.append((key, _unquote_label(quoted)))
                 samples[(sample_name, tuple(labels))] = _parse_number(
                     value_text.strip()
                 )

@@ -65,11 +65,71 @@ class Recorder:
     ) -> None:
         """A point event at ``ts_s`` on ``track``."""
 
+    def finalize_run(self, makespan_s: float):
+        """Called by the event loops once, after the last event.
+
+        Recorders that accumulate time-resolved state (the
+        :class:`~repro.obs.timeline.TimelineCollector`) close their
+        windows here and may return a payload the loop surfaces on its
+        report (an :class:`~repro.obs.alerts.AlertLog`).  The base
+        recorder — and :class:`SpanRecorder` — has nothing to finalize
+        and returns None.
+        """
+        return None
+
 
 class NullRecorder(Recorder):
     """The zero-overhead default: records nothing, enables nothing."""
 
     __slots__ = ()
+
+
+class TeeRecorder(Recorder):
+    """Fans every emission out to several recorders.
+
+    Compose a :class:`SpanRecorder` (raw spans, Perfetto export,
+    critical-path input) with a
+    :class:`~repro.obs.timeline.TimelineCollector` (windowed series,
+    alerts) on one ``recorder=`` seam.  Disabled children are dropped at
+    construction; a tee with no enabled children reports ``enabled``
+    False and costs the loops nothing.  :meth:`finalize_run` forwards to
+    every child and returns the first non-None payload (child order).
+    """
+
+    __slots__ = ("recorders", "enabled")
+
+    def __init__(self, *recorders: Optional[Recorder]) -> None:
+        self.recorders = tuple(
+            recorder
+            for recorder in recorders
+            if recorder is not None and recorder.enabled
+        )
+        self.enabled = bool(self.recorders)
+
+    def span(
+        self,
+        track: str,
+        name: str,
+        start_s: float,
+        end_s: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        for recorder in self.recorders:
+            recorder.span(track, name, start_s, end_s, args)
+
+    def instant(
+        self, track: str, name: str, ts_s: float, args: Optional[dict] = None
+    ) -> None:
+        for recorder in self.recorders:
+            recorder.instant(track, name, ts_s, args)
+
+    def finalize_run(self, makespan_s: float):
+        result = None
+        for recorder in self.recorders:
+            payload = recorder.finalize_run(makespan_s)
+            if result is None:
+                result = payload
+        return result
 
 
 #: Internal event tuples: ("X", track, name, start_s, dur_s, args) for
@@ -136,18 +196,31 @@ class SpanRecorder(Recorder):
         return list(seen)
 
     def top_spans(self, n: int = 10) -> List[Tuple[str, float, int]]:
-        """``(name, total seconds, count)`` of the heaviest span names."""
-        totals: Dict[str, List[float]] = {}
-        for kind, _track, name, _start, duration, _args in self.events:
+        """``(name, total seconds, count)`` of the heaviest span names.
+
+        Ranked by total duration descending; ties break by each name's
+        *first occurrence* — its track, then its start time, then the
+        name itself — so the ranking is fully deterministic even when
+        two span names happen to cost exactly the same simulated time.
+        """
+        totals: Dict[str, List[object]] = {}
+        for kind, track, name, start, duration, _args in self.events:
             if kind != "X":
                 continue
-            bucket = totals.setdefault(name, [0.0, 0])
-            bucket[0] += duration
-            bucket[1] += 1
+            bucket = totals.get(name)
+            if bucket is None:
+                totals[name] = [duration, 1, track, start]
+            else:
+                bucket[0] += duration
+                bucket[1] += 1
         ranked = sorted(
-            totals.items(), key=lambda item: (-item[1][0], item[0])
+            totals.items(),
+            key=lambda item: (-item[1][0], item[1][2], item[1][3], item[0]),
         )
-        return [(name, total, int(count)) for name, (total, count) in ranked[:n]]
+        return [
+            (name, total, int(count))
+            for name, (total, count, _track, _start) in ranked[:n]
+        ]
 
     # -- export --------------------------------------------------------------
     def to_perfetto(self, path: Optional[str] = None) -> str:
@@ -204,9 +277,14 @@ def record_request_phases(
 
     Guards every stamp: a partially-stamped record (from an early-exited
     run) contributes only the phases it actually entered, mirroring how
-    the trace CSV leaves its cells blank.
+    the trace CSV leaves its cells blank.  Records that expose their
+    payload (``record.request``) also stamp ``gen_tokens`` into the span
+    args, which lets the timeline derive per-token decode latencies.
     """
     args = {"request_id": record.request_id}
+    source = getattr(record, "request", None)
+    if source is not None:
+        args["gen_tokens"] = source.gen_tokens
     if extra:
         args.update(extra)
     arrival = record.arrival_s

@@ -333,6 +333,11 @@ class ServingReport:
     #: function of the event sequence — and absorbed by the
     #: :mod:`repro.obs.metrics` registry.
     event_queue: Optional[Dict[str, int]] = None
+    #: :class:`repro.obs.alerts.AlertLog` from an attached
+    #: :class:`~repro.obs.timeline.TimelineCollector` with alert rules;
+    #: None when the run carried no alerting observer.  Pure metadata —
+    #: never consulted by any metric on this report.
+    alerts: Optional["AlertLog"] = None
 
     def __post_init__(self) -> None:
         #: metric name -> sorted values, so repeated percentile queries
@@ -547,6 +552,13 @@ class ServingReport:
                     ["SLO attainment (%)", 100.0 * self.slo_attainment()],
                     ["goodput (req/s)", self.goodput_rps()],
                     ["meets SLO", self.meets_slo()],
+                ]
+            )
+        if self.alerts is not None:
+            rows.append(
+                [
+                    "alerts (fired/resolved)",
+                    f"{len(self.alerts.fires())}/{len(self.alerts.resolves())}",
                 ]
             )
         return ["metric", "value"], rows

@@ -526,6 +526,9 @@ class ContinuousBatchScheduler(Scheduler):
                     "batch": len(self._active),
                 },
             )
+            rec.instant(
+                memory.track, "dram", now, {"used_bytes": memory.pool.used_bytes}
+            )
         return Occupancy(PREFILL, ttft + io_seconds)
 
     def _plan_refill(self) -> Optional[Occupancy]:
@@ -549,7 +552,17 @@ class ContinuousBatchScheduler(Scheduler):
         if not moved:
             return None
         memory.pool.admit(moved)
-        return Occupancy(REFILL, memory.refill(moved))
+        occupancy = Occupancy(REFILL, memory.refill(moved))
+        rec = self.recorder
+        if rec is not None:
+            # memory.now_s was synced by the planning call that got here.
+            rec.instant(
+                memory.track,
+                "dram",
+                memory.now_s,
+                {"used_bytes": memory.pool.used_bytes},
+            )
+        return occupancy
 
     def _decode_with_memory(
         self,
@@ -665,6 +678,11 @@ class ContinuousBatchScheduler(Scheduler):
                     "batch": len(active) + len(finished),
                     "completed": len(finished),
                 },
+            )
+            # The DRAM level after this step's growth and the finished
+            # members' releases — the timeline's KV-occupancy series.
+            rec.instant(
+                memory.track, "dram", now, {"used_bytes": pool.used_bytes}
             )
         return Occupancy(
             DECODE,

@@ -664,6 +664,12 @@ def simulate(
         metrics.queue_depth_area = queue_stats.area
         metrics.max_queue_depth = queue_stats.max_depth
 
+    # A time-resolved recorder (TimelineCollector) closes its windows on
+    # the final clock here and may hand back an AlertLog to surface; the
+    # plain SpanRecorder returns None.  Either way the report's trace
+    # CSV, makespan and counters are already fixed — finalize only reads.
+    alerts = rec.finalize_run(now) if rec is not None else None
+
     memory = getattr(scheduler, "memory", None)
     return ServingReport(
         backend_name=backend_name,
@@ -678,4 +684,5 @@ def simulate(
         streamed=metrics,
         memory=memory.report() if memory is not None else None,
         event_queue=queue.stats(),
+        alerts=alerts,
     )

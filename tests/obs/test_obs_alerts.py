@@ -1,0 +1,215 @@
+"""Alert rule semantics and the deterministic fire/resolve log."""
+
+import pytest
+
+from repro.obs import (
+    AlertLog,
+    BurnRateRule,
+    SustainedRule,
+    ThresholdRule,
+    burn_rate_pack,
+    evaluate_alerts,
+)
+from repro.obs.alerts import AlertEvent
+
+WINDOW_S = 10.0
+
+
+def _rows(values, metric="queue_depth_max", completions=None, slo_met=None):
+    """Synthetic timeline rows: one window per value."""
+    rows = []
+    for index, value in enumerate(values):
+        row = {
+            "window": index,
+            "start_s": index * WINDOW_S,
+            "end_s": (index + 1) * WINDOW_S,
+            "completions": completions[index] if completions else 0,
+            "slo_met": slo_met[index] if slo_met else None,
+            metric: value,
+        }
+        rows.append(row)
+    return rows
+
+
+# -- ThresholdRule -----------------------------------------------------------
+
+def test_threshold_fires_and_resolves_on_the_boundary_windows():
+    rule = ThresholdRule("deep", "queue_depth_max", 5)
+    log = evaluate_alerts(_rows([1, 6, 9, 3, 7]), WINDOW_S, [rule])
+    assert [(e.kind, e.window, e.time_s) for e in log] == [
+        ("fire", 1, 20.0),
+        ("resolve", 3, 40.0),
+        ("fire", 4, 50.0),
+    ]
+    # A continuing breach never re-fires; values ride along on the events.
+    assert log.fires("deep")[0].value == 6
+
+
+@pytest.mark.parametrize(
+    "op, value, breaches",
+    [(">", 5, False), (">=", 5, True), ("<", 5, False), ("<=", 5, True)],
+)
+def test_threshold_operators(op, value, breaches):
+    rule = ThresholdRule("r", "queue_depth_max", 5, op=op)
+    assert rule.observe(0, _rows([value]), WINDOW_S)[0] is breaches
+
+
+def test_threshold_skips_undefined_cells():
+    rule = ThresholdRule("r", "goodput_qps", 1.0, op="<")
+    rows = _rows([None, 0.5], metric="goodput_qps")
+    assert rule.observe(0, rows, WINDOW_S) == (False, 0.0)
+    assert rule.observe(1, rows, WINDOW_S) == (True, 0.5)
+
+
+def test_threshold_rejects_unknown_operators():
+    with pytest.raises(ValueError):
+        ThresholdRule("r", "queue_depth_max", 5, op="!=")
+
+
+# -- SustainedRule -----------------------------------------------------------
+
+def test_sustained_needs_the_full_streak_before_firing():
+    rule = SustainedRule("hot", "queue_depth_max", 5, for_s=30.0)
+    # Needs ceil(30/10) = 3 consecutive breaching windows.
+    log = evaluate_alerts(_rows([6, 6, 2, 6, 6, 6, 6, 1]), WINDOW_S, [rule])
+    assert [(e.kind, e.window) for e in log] == [("fire", 5), ("resolve", 7)]
+
+
+def test_sustained_partial_window_rounds_up():
+    rule = SustainedRule("hot", "queue_depth_max", 5, for_s=15.0)
+    log = evaluate_alerts(_rows([6, 6, 6]), WINDOW_S, [rule])
+    assert [(e.kind, e.window) for e in log] == [("fire", 1)]
+
+
+def test_sustained_duration_must_be_positive():
+    with pytest.raises(ValueError):
+        SustainedRule("r", "queue_depth_max", 5, for_s=0.0)
+
+
+# -- BurnRateRule ------------------------------------------------------------
+
+def test_burn_rate_matches_the_hand_computation():
+    # objective 0.9 -> budget 0.1.  Window burn = error rate / 0.1.
+    rows = _rows(
+        [0] * 4,
+        completions=[10, 10, 10, 10],
+        slo_met=[10, 8, 10, 10],
+    )
+    rule = BurnRateRule("b", objective=0.9, long_s=20.0, short_s=10.0, factor=1.0)
+    # Window 1: long range (w0-w1) error 2/20 -> burn 1.0; short (w1)
+    # error 2/10 -> burn 2.0.  Both >= 1.0 -> breach, value = long burn.
+    breaching, value = rule.observe(1, rows, WINDOW_S)
+    assert breaching and value == pytest.approx(1.0)
+    # Window 2: short range (w2) is clean -> no breach.
+    assert rule.observe(2, rows, WINDOW_S)[0] is False
+
+
+def test_burn_rate_requires_both_ranges_to_breach():
+    rows = _rows(
+        [0] * 3,
+        completions=[10, 10, 10],
+        slo_met=[0, 10, 10],
+    )
+    rule = BurnRateRule("b", objective=0.9, long_s=30.0, short_s=10.0, factor=1.0)
+    # Long range still carries window 0's misses, but the short range is
+    # clean: the conjunction keeps the alert quiet (fast resolve).
+    assert rule.observe(2, rows, WINDOW_S)[0] is False
+
+
+def test_idle_windows_burn_no_budget():
+    rows = _rows([0] * 3, completions=[10, 0, 0], slo_met=[0, None, None])
+    rule = BurnRateRule("b", objective=0.9, long_s=10.0, short_s=10.0, factor=1.0)
+    # slo_met None on idle windows is fine; rows[index] must have it set.
+    rows[1]["slo_met"] = rows[2]["slo_met"] = 0
+    assert rule.observe(0, rows, WINDOW_S)[0] is True
+    assert rule.observe(1, rows, WINDOW_S) == (False, 0.0)
+    assert rule.observe(2, rows, WINDOW_S) == (False, 0.0)
+
+
+def test_burn_rate_demands_an_slo_column():
+    rule = BurnRateRule("b")
+    with pytest.raises(ValueError, match="needs a timeline with an SLO"):
+        rule.observe(0, _rows([0]), WINDOW_S)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"objective": 0.0},
+        {"objective": 1.0},
+        {"short_s": 120.0, "long_s": 60.0},
+        {"factor": 0.0},
+    ],
+)
+def test_burn_rate_validates_its_parameters(kwargs):
+    with pytest.raises(ValueError):
+        BurnRateRule("b", **kwargs)
+
+
+def test_burn_rate_pack_scales_to_the_window():
+    fast, slow = burn_rate_pack(0.95, 30.0)
+    assert (fast.name, slow.name) == ("slo-burn-fast", "slo-burn-slow")
+    assert fast.objective == slow.objective == 0.95
+    assert (fast.long_s, fast.short_s, fast.factor) == (120.0, 30.0, 4.0)
+    assert (slow.long_s, slow.short_s, slow.factor) == (360.0, 90.0, 1.0)
+
+
+# -- evaluate_alerts ---------------------------------------------------------
+
+def test_rules_judge_each_window_in_declared_order():
+    rows = _rows([6, 6, 1])
+    first = ThresholdRule("first", "queue_depth_max", 5)
+    second = ThresholdRule("second", "queue_depth_max", 5)
+    log = evaluate_alerts(rows, WINDOW_S, [first, second])
+    assert [e.rule for e in log] == ["first", "second", "first", "second"]
+    assert [e.kind for e in log] == ["fire", "fire", "resolve", "resolve"]
+
+
+def test_rule_names_must_be_unique():
+    rules = [
+        ThresholdRule("dup", "queue_depth_max", 5),
+        ThresholdRule("dup", "queue_depth_max", 9),
+    ]
+    with pytest.raises(ValueError, match="unique"):
+        evaluate_alerts(_rows([1]), WINDOW_S, rules)
+
+
+def test_empty_rows_and_no_rules_yield_an_empty_log():
+    assert len(evaluate_alerts([], WINDOW_S, [])) == 0
+    assert len(evaluate_alerts(_rows([9, 9]), WINDOW_S, [])) == 0
+
+
+# -- AlertLog ----------------------------------------------------------------
+
+def _log():
+    return AlertLog(
+        [
+            AlertEvent("a", "fire", 10.0, 0, 7.0),
+            AlertEvent("b", "fire", 20.0, 1, 3.0),
+            AlertEvent("a", "resolve", 30.0, 2, 1.0),
+        ]
+    )
+
+
+def test_log_filters_by_kind_and_rule():
+    log = _log()
+    assert len(log) == 3
+    assert [e.rule for e in log.fires()] == ["a", "b"]
+    assert [e.rule for e in log.resolves()] == ["a"]
+    assert log.fires("b")[0].time_s == 20.0
+    assert log.fires("nope") == []
+
+
+def test_log_equality_compares_the_event_sequence():
+    assert _log() == _log()
+    other = _log()
+    other.events.pop()
+    assert _log() != other
+    assert _log() != "not a log"
+
+
+def test_log_summary_rows_render_the_events():
+    headers, rows = _log().summary_rows()
+    assert headers == ["alert", "event", "t (s)", "window", "value"]
+    assert rows[0] == ["a", "fire", 10.0, 0, 7.0]
+    assert len(rows) == 3

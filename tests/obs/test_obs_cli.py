@@ -75,6 +75,90 @@ def test_trace_out_rejects_capacity_search(tmp_path):
         )
 
 
+_SLO = ["--slo-ttft", "10", "--slo-e2e", "60"]
+
+
+def test_serve_timeline_out_writes_the_windowed_csv(capsys, tmp_path):
+    from repro.obs import TIMELINE_CSV_FIELDS
+
+    path = tmp_path / "timeline.csv"
+    assert main(
+        _SERVE + ["--timeline-out", str(path), "--timeline-window", "5"]
+    ) == 0
+    assert "timeline windows" in capsys.readouterr().out
+    lines = path.read_text().splitlines()
+    assert lines[0] == ",".join(TIMELINE_CSV_FIELDS)
+    rows = [line.split(",") for line in lines[1:]]
+    arrivals = sum(int(cells[3]) for cells in rows)
+    completions = sum(int(cells[4]) for cells in rows)
+    assert arrivals == completions == 20
+
+
+def test_serve_timeline_never_changes_the_csv(capsys, tmp_path):
+    bare, observed = tmp_path / "bare.csv", tmp_path / "observed.csv"
+    assert main(_SERVE + _SLO + ["--csv", str(bare)]) == 0
+    assert main(
+        _SERVE
+        + _SLO
+        + [
+            "--csv", str(observed),
+            "--timeline-out", str(tmp_path / "t.csv"),
+            "--alerts",
+            "--attribution",
+        ]
+    ) == 0
+    capsys.readouterr()
+    assert bare.read_bytes() == observed.read_bytes()
+
+
+def test_serve_alerts_require_an_slo():
+    with pytest.raises(SystemExit, match="SLO"):
+        main(_SERVE + ["--alerts"])
+
+
+def test_serve_alerts_print_the_log_or_say_none_fired(capsys):
+    assert main(_SERVE + _SLO + ["--alerts"]) == 0
+    output = capsys.readouterr().out
+    assert "Alerts" in output  # the table, or "Alerts: none fired"
+
+
+def test_serve_attribution_prints_the_tables(capsys):
+    assert main(_SERVE + ["--attribution"]) == 0
+    output = capsys.readouterr().out
+    assert "Critical-path attribution" in output
+    assert "Makespan chains" in output
+    assert "queue (aggregate)" in output
+
+
+def test_fleet_timeline_and_attribution(capsys, tmp_path):
+    from repro.obs import TIMELINE_CSV_FIELDS
+
+    path = tmp_path / "timeline.csv"
+    assert main(
+        _FLEET + _SLO + ["--timeline-out", str(path), "--alerts", "--attribution"]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "Alerts" in output
+    assert "Critical-path attribution" in output
+    lines = path.read_text().splitlines()
+    assert lines[0] == ",".join(TIMELINE_CSV_FIELDS)
+    assert sum(int(line.split(",")[4]) for line in lines[1:]) == 20
+
+
+def test_timeline_flags_reject_capacity_search(tmp_path):
+    path = str(tmp_path / "t.csv")
+    with pytest.raises(SystemExit, match="capacity/sizing"):
+        main(
+            _SERVE
+            + ["--find-max-qps", "--slo-e2e", "120", "--timeline-out", path]
+        )
+    with pytest.raises(SystemExit, match="capacity/sizing"):
+        main(
+            _FLEET
+            + ["--size-for-qps", "1", "--slo-e2e", "120", "--alerts"]
+        )
+
+
 def test_grid_show_cache_stats(capsys):
     assert main(
         ["grid", "opt-6.7b", "--seq-lens", "500", "--show-cache-stats"]

@@ -98,6 +98,54 @@ def test_label_values_escape_and_unescape():
     assert parsed.value("odd_total", label=weird) == 1
 
 
+@pytest.mark.parametrize(
+    "weird",
+    [
+        "trailing backslash \\",
+        'closer-lookalike "} inside',
+        "commas, everywhere, }",
+        'all of it: \\ "quoted"\nand, {braces}',
+        "\\n literal, not a newline",
+    ],
+)
+def test_hostile_label_values_round_trip(weird):
+    registry = MetricsRegistry()
+    registry.counter("odd_total").inc(1, label=weird)
+    parsed = MetricsSnapshot.from_prometheus(
+        registry.snapshot().to_prometheus()
+    )
+    assert parsed.value("odd_total", label=weird) == 1
+
+
+def test_help_text_escapes_newlines_and_backslashes():
+    registry = MetricsRegistry()
+    help_text = "first line\nsecond \\ line"
+    registry.gauge("g", help_text).set(1)
+    text = registry.snapshot().to_prometheus()
+    # The exposition stays one line per directive ...
+    assert "# HELP g first line\\nsecond \\\\ line\n" in text
+    # ... and the parse restores the original text.
+    parsed = MetricsSnapshot.from_prometheus(text)
+    assert parsed.families["g"] == ("gauge", help_text)
+    assert parsed.to_prometheus() == text
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        'm{a=x} 1',               # unquoted label value
+        'm{a="x} 1',              # missing sample separator / closing quote
+        'm{a} 1',                 # no "=" at all
+        'm{a="x"y"} 1',           # unescaped interior quote
+        'm{a="x\\"} 1',           # backslash swallows the closing quote
+    ],
+)
+def test_malformed_sample_lines_are_rejected(line):
+    text = f"# TYPE m counter\n{line}\n"
+    with pytest.raises(ValueError):
+        MetricsSnapshot.from_prometheus(text)
+
+
 def test_inf_and_nan_values_round_trip():
     registry = MetricsRegistry()
     registry.gauge("g").set(math.inf, which="pos")
@@ -141,6 +189,56 @@ def test_delta_treats_missing_samples_as_zero():
     registry.counter("new_total").inc(4)
     delta = registry.snapshot().delta(MetricsSnapshot({}, {}))
     assert delta.value("new_total") == 4
+
+
+def test_delta_across_disjoint_label_sets():
+    registry = MetricsRegistry()
+    registry.counter("hits_total").inc(5, route="old")
+    earlier = registry.snapshot()
+    registry.counter("hits_total").inc(3, route="new")
+    delta = registry.snapshot().delta(earlier)
+    # The old label set is unchanged (delta 0); the new one appears whole.
+    assert delta.value("hits_total", route="old") == 0
+    assert delta.value("hits_total", route="new") == 3
+    # A sample only the earlier snapshot had simply drops out.
+    shrunk = MetricsRegistry()
+    shrunk.counter("hits_total").inc(1, route="new")
+    delta = shrunk.snapshot().delta(registry.snapshot())
+    assert delta.value("hits_total", route="old") is None
+
+
+def test_delta_surfaces_counter_resets_as_negative():
+    registry = MetricsRegistry()
+    registry.counter("restarts_total").inc(10)
+    earlier = registry.snapshot()
+    restarted = MetricsRegistry()
+    restarted.counter("restarts_total").inc(2)
+    delta = restarted.snapshot().delta(earlier)
+    # The caller sees the reset rather than a silently wrong rate.
+    assert delta.value("restarts_total") == -8
+
+
+def test_delta_of_an_unchanged_histogram_is_all_zero():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("lat", buckets=(1.0,))
+    histogram.observe(0.5)
+    earlier = registry.snapshot()
+    delta = registry.snapshot().delta(earlier)
+    assert delta.value("lat_bucket", le="1") == 0
+    assert delta.value("lat_bucket", le="+Inf") == 0
+    assert delta.value("lat_count") == 0
+    assert delta.value("lat_sum") == 0
+
+
+def test_delta_of_a_never_observed_histogram_has_no_samples():
+    registry = MetricsRegistry()
+    registry.histogram("lat", buckets=(1.0,))
+    # A registered-but-empty histogram exposes no samples, so neither
+    # does its delta — absent, not zero, on both sides.
+    delta = registry.snapshot().delta(MetricsSnapshot({}, {}))
+    assert delta.value("lat_count") is None
+    assert delta.value("lat_bucket", le="+Inf") is None
+    assert "lat" in delta.families
 
 
 # -- report absorption --------------------------------------------------------

@@ -44,6 +44,23 @@ def test_top_spans_ranks_by_total_duration():
     assert _sample().top_spans(1) == [("decode", 2.5, 2)]
 
 
+def test_top_spans_ties_break_by_first_track_then_start_then_name():
+    """Equal totals order deterministically: the name seen first on the
+    earlier track (then the earlier start, then alphabetically) wins."""
+    recorder = SpanRecorder()
+    recorder.span("b-track", "zeta", 0.0, 1.0)
+    recorder.span("a-track", "eta", 0.5, 1.5)
+    recorder.span("a-track", "theta", 0.7, 1.7)
+    ranked = recorder.top_spans()
+    # All three total 1.0s; a-track's names lead, ordered by first start.
+    assert [name for name, _, _ in ranked] == ["eta", "theta", "zeta"]
+    # Same track, same start: alphabetical last resort.
+    recorder = SpanRecorder()
+    recorder.span("t", "bb", 2.0, 3.0)
+    recorder.span("t", "aa", 2.0, 3.0)
+    assert [name for name, _, _ in recorder.top_spans()] == ["aa", "bb"]
+
+
 def test_record_request_phases_emits_the_three_spans():
     recorder = SpanRecorder()
     record_request_phases(recorder, "requests", _Record(), {"device": 3})
@@ -68,6 +85,74 @@ def test_record_request_phases_guards_partial_stamps(missing, expected):
     recorder = SpanRecorder()
     record_request_phases(recorder, "requests", record)
     assert [event[2] for event in recorder.events] == expected
+
+
+def test_record_request_phases_stamps_gen_tokens_from_the_request():
+    class _Request:
+        gen_tokens = 24
+
+    record = _Record()
+    record.request = _Request()
+    recorder = SpanRecorder()
+    record_request_phases(recorder, "requests", record)
+    assert all(
+        event[5] == {"request_id": 7, "gen_tokens": 24}
+        for event in recorder.events
+    )
+
+
+# -- TeeRecorder --------------------------------------------------------------
+
+def test_tee_forwards_to_every_enabled_child():
+    from repro.obs import NullRecorder, TeeRecorder
+
+    first, second = SpanRecorder(), SpanRecorder()
+    tee = TeeRecorder(first, None, NullRecorder(), second)
+    assert tee.enabled
+    tee.span("t", "s", 0.0, 1.0, {"k": 1})
+    tee.instant("t", "i", 0.5)
+    assert first.events == second.events
+    assert len(first.events) == 2
+
+
+def test_tee_with_no_enabled_children_reports_disabled():
+    from repro.obs import NullRecorder, TeeRecorder
+
+    tee = TeeRecorder(None, NullRecorder())
+    assert tee.recorders == ()
+    assert not tee.enabled
+
+
+def test_tee_finalize_run_returns_the_first_payload():
+    from repro.obs import TeeRecorder
+    from repro.obs.recorder import Recorder
+
+    class _Finalizing(Recorder):
+        enabled = True
+
+        def __init__(self, payload):
+            self.payload = payload
+            self.finalized_with = None
+
+        def finalize_run(self, makespan_s):
+            self.finalized_with = makespan_s
+            return self.payload
+
+    silent = _Finalizing(None)
+    loud = _Finalizing("alerts")
+    later = _Finalizing("ignored")
+    tee = TeeRecorder(silent, loud, later)
+    assert tee.finalize_run(42.0) == "alerts"
+    # Every child is finalized even after the payload is found.
+    assert (silent.finalized_with, loud.finalized_with, later.finalized_with) == (
+        42.0, 42.0, 42.0
+    )
+
+
+def test_base_recorder_finalize_run_is_a_no_op():
+    from repro.obs.recorder import Recorder
+
+    assert Recorder().finalize_run(10.0) is None
 
 
 # -- Perfetto export ----------------------------------------------------------
@@ -142,10 +227,19 @@ def test_profiler_context_manager_times_real_work():
 def test_only_the_profiler_module_touches_the_wall_clock():
     """recorder/metrics stay on simulated time; profile.py is the one
     sanctioned wall-clock reader (mirrors the serving package guard)."""
+    import repro.obs.alerts
+    import repro.obs.critpath
     import repro.obs.metrics
     import repro.obs.recorder
+    import repro.obs.timeline
 
-    for module in (repro.obs.recorder, repro.obs.metrics):
+    for module in (
+        repro.obs.recorder,
+        repro.obs.metrics,
+        repro.obs.timeline,
+        repro.obs.alerts,
+        repro.obs.critpath,
+    ):
         source = open(module.__file__).read()
         for needle in ("import time", "from time", "perf_counter", "datetime"):
             assert needle not in source, (module.__name__, needle)
