@@ -433,6 +433,63 @@ def _rss_probe_main(mode):
     return 0
 
 
+def bench_fault_overhead(num_requests=5000, gen_tokens=64):
+    """The resilience contract, priced: the plain loop versus the fault
+    engine with a benign spec (nothing fires inside the makespan — the
+    delegation itself is the cost, and the trace must stay byte-identical
+    to the plain run), versus real chaos (a mid-run crash plus flaky
+    verdicts and client retries, where coalesced must stay byte-identical
+    to the step-by-step reference).  ``--check`` bounds the benign
+    overhead and requires both identities."""
+    from repro.faults import FaultSpec, RetryPolicy
+
+    payload = InferenceRequest(model="llama2-7b", seq_len=512, gen_tokens=gen_tokens)
+    arrivals = _overload_arrivals(payload, num_requests, seed=6)
+    cost = BackendCostModel(BACKEND)
+    benign = FaultSpec(crash_windows=((0, 1e12, 1.0),))
+    chaos = FaultSpec(
+        crash_windows=((0, 120.0, 30.0),), flaky_prob=0.01, seed=7
+    )
+    retry = RetryPolicy(max_attempts=3, backoff_s=0.5)
+
+    def run(faults=None, retry=None, max_steps=None):
+        return simulate(
+            arrivals,
+            cost,
+            ContinuousBatchScheduler(max_batch=MAX_BATCH),
+            faults=faults,
+            retry=retry,
+            max_steps=max_steps,
+        )
+
+    run()  # warm the profile cache
+    bare_s, bare = _timed_best(lambda: run())
+    benign_s, benign_report = _timed_best(lambda: run(faults=benign))
+    chaos_s, chaos_report = _timed_best(lambda: run(faults=chaos, retry=retry))
+    baseline_s, baseline = _timed(
+        lambda: run(faults=chaos, retry=retry, max_steps=1)
+    )
+    return {
+        "num_requests": num_requests,
+        "gen_tokens": gen_tokens,
+        "bare_seconds": bare_s,
+        "benign_seconds": benign_s,
+        "fault_overhead": benign_s / bare_s,
+        "seconds": chaos_s,
+        "events": chaos_report.num_events,
+        "uncoalesced_seconds": baseline_s,
+        "uncoalesced_events": baseline.num_events,
+        "speedup": baseline_s / chaos_s,
+        "events_ratio": baseline.num_events / chaos_report.num_events,
+        "crashes": chaos_report.faults.crashes,
+        "requeued": chaos_report.faults.requeued,
+        "retries": chaos_report.faults.retries,
+        "byte_identical": benign_report.to_csv() == bare.to_csv()
+        and baseline.to_csv() == chaos_report.to_csv()
+        and baseline.faults == chaos_report.faults,
+    }
+
+
 def bench_obs_overhead(num_requests=5000, gen_tokens=64):
     """The observability contract, priced: the continuous-batching loop
     bare (``recorder=None`` — the path every other scenario, including
@@ -526,6 +583,7 @@ SCENARIOS = {
     "serving_kv_spill_100k": bench_serving_kv_spill_100k,
     "serving_stream_1M": bench_serving_stream_1m,
     "fleet_100dev_1M": bench_fleet_stream_1m,
+    "fault_overhead_5k_64": bench_fault_overhead,
 }
 
 
@@ -642,6 +700,21 @@ def main(argv=None):
             raise SystemExit(
                 f"serving_kv_spill_100k took {kv_spill['seconds']:.1f}s; "
                 "the memory-model bar is 15 seconds for 100k requests"
+            )
+        # The benign fault engine is the plain loop plus delegation: it
+        # must stay byte-identical (checked above) and close on wall
+        # clock — a widening gap means the faults=None promise is being
+        # paid for even when nothing fires.
+        fault = results["fault_overhead_5k_64"]
+        if fault["fault_overhead"] >= 3.0:
+            raise SystemExit(
+                f"benign fault-engine overhead {fault['fault_overhead']:.2f}x "
+                "is over the 3x bar"
+            )
+        if fault["requeued"] == 0 and fault["retries"] == 0:
+            raise SystemExit(
+                "fault_overhead_5k_64 chaos run neither re-queued nor "
+                "retried; the scenario no longer exercises the engine"
             )
         stream_rss = results["serving_stream_1M"]["peak_rss_streaming_kb"]
         record_rss = results["serving_stream_1M"]["peak_rss_inmemory_kb"]

@@ -1,0 +1,129 @@
+"""Scenario: a chaos day for a four-replica flash-NPU serving fleet.
+
+A diurnal tenant is humming along when two replicas crash in the evening
+peak.  This example wires the whole resilience stack together: the
+failover router steers new arrivals around the dead replicas, crash
+re-queues put in-flight work back on the survivors, client retries absorb
+flaky verdicts, and the windowed timeline feeds SLO burn-rate rules that
+page while the error budget burns and resolve once the fleet recovers.
+Everything runs on the simulated clock from a fixed seed, so the chaos
+day replays byte-identically.
+"""
+
+from __future__ import annotations
+
+from repro.faults import FaultSpec, RetryPolicy
+from repro.fleet import build_fleet, get_router, simulate_fleet
+from repro.obs import TimelineCollector, burn_rate_pack
+from repro.reporting import print_table
+from repro.api import get_backend
+from repro.serving import ContinuousBatchScheduler, SLOSpec, load_bundled_trace
+
+SLO = SLOSpec(ttft_s=45.0, e2e_s=90.0, min_attainment=0.95)
+
+#: Both crashes land inside the evening peak of the bundled diurnal trace
+#: (arrival rate tops out around t = 255-300 s).
+CHAOS = FaultSpec(
+    crash_windows=((0, 255.0, 25.0), (1, 260.0, 25.0)),
+    flaky_prob=0.03,
+    seed=13,
+)
+RETRY = RetryPolicy(max_attempts=3, backoff_s=0.5)
+WINDOW_S = 10.0
+
+
+def run_chaos_day():
+    arrivals = load_bundled_trace("diurnal").generate(180)
+    fleet = build_fleet(
+        [get_backend("cambricon")] * 4,
+        scheduler_factory=lambda: ContinuousBatchScheduler(max_batch=4),
+    )
+    timeline = TimelineCollector(
+        window_s=WINDOW_S,
+        slo=SLO,
+        rules=burn_rate_pack(SLO.min_attainment, WINDOW_S),
+    )
+    report = simulate_fleet(
+        arrivals,
+        fleet,
+        get_router("failover"),
+        slo=SLO,
+        faults=CHAOS,
+        retry=RETRY,
+        deadline_s=90.0,
+        recorder=timeline,
+    )
+    return report, timeline
+
+
+def resilience_summary(report) -> None:
+    faults = report.faults
+    print_table(
+        "Chaos day: what the clients saw",
+        ["quantity", "value"],
+        [
+            ["requests / completed", f"{report.num_requests} / {report.num_completed}"],
+            ["SLO attainment", f"{report.slo_attainment():.1%}"],
+            ["fleet availability", f"{faults.availability:.2%}"],
+            ["crashes / recoveries", f"{faults.crashes} / {faults.recoveries}"],
+            [
+                "time to recover (mean / max)",
+                f"{faults.mean_time_to_recover_s:.0f} s / "
+                f"{faults.max_time_to_recover_s:.0f} s",
+            ],
+            ["client retries", faults.retries],
+            ["crash re-queues", faults.requeued],
+            ["shed / timed out / failed", f"{faults.shed} / {faults.timed_out} / {faults.failed}"],
+        ],
+    )
+
+
+def alert_story(report) -> None:
+    log = report.alerts
+    rows = [
+        [f"{event.time_s:8.1f} s", event.rule, event.kind, f"{event.value:.1f}x"]
+        for event in log.events
+    ]
+    print_table(
+        "SLO burn-rate alerts over the outage",
+        ["sim time", "rule", "event", "burn"],
+        rows,
+    )
+    fired = log.fires()
+    resolves = [event for event in log.events if event.kind == "resolve"]
+    if fired:
+        first_crash = CHAOS.crash_windows[0][1]
+        print(
+            f"First page {fired[0].time_s - first_crash:.0f} s after the "
+            f"first crash; {len(fired)} fire(s) and {len(resolves)} "
+            "resolve(s) as the fleet recovers and the backlog drains."
+        )
+
+
+def outage_window_view(timeline) -> None:
+    """The windows around the crash: misses spike, retries kick in."""
+    rows = []
+    for row in timeline.to_rows():
+        if 240.0 <= row["start_s"] <= 330.0:
+            rows.append(
+                [
+                    f"{row['start_s']:5.0f}-{row['end_s']:.0f} s",
+                    row["completions"],
+                    row["slo_met"],
+                    row["fault_events"],
+                    row["retries"],
+                    row["timed_out"],
+                ]
+            )
+    print_table(
+        "Timeline windows around the outage",
+        ["window", "completed", "slo met", "fault events", "retries", "timed out"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    report, timeline = run_chaos_day()
+    resilience_summary(report)
+    outage_window_view(timeline)
+    alert_story(report)

@@ -67,6 +67,18 @@ report into a Prometheus-text :class:`MetricsSnapshot`, and a
 :class:`PhaseProfiler` times the loops' own wall-clock phases.
 Attaching any of them never changes a trace CSV, a report, or a
 makespan — the disabled path costs zero per-event work.
+
+:mod:`repro.faults` turns both event loops into chaos rigs without
+losing determinism: a :class:`FaultSpec` injects seeded crash / recover
+windows, transient slowdowns and flaky per-attempt failures as FAULT
+events on the simulated clock, a :class:`RetryPolicy` plus per-request
+deadlines (and optional hedging) model client resilience, and
+health-aware routing (``get_router("failover")``, or
+``exclude_unhealthy=True`` on any policy) steers arrivals around dead
+replicas.  Reports grow a :class:`FaultReport` — availability,
+time-to-recover, shed / timed-out / failed / retried counts — and a
+fixed seed replays the whole outage byte for byte.  With
+``faults=None`` the plain loops run untouched.
 """
 
 from repro.api import (
@@ -135,6 +147,12 @@ from repro.memory import (
     MemoryReport,
     MemorySpec,
 )
+from repro.faults import (
+    FaultInjector,
+    FaultReport,
+    FaultSpec,
+    RetryPolicy,
+)
 from repro.obs import (
     AlertLog,
     BurnRateRule,
@@ -153,7 +171,7 @@ from repro.obs import (
     serving_snapshot,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "__version__",
@@ -234,6 +252,11 @@ __all__ = [
     "KVFootprint",
     "KVMemoryModel",
     "MemoryReport",
+    # fault injection and resilience
+    "FaultSpec",
+    "FaultInjector",
+    "FaultReport",
+    "RetryPolicy",
     # observability
     "Recorder",
     "NullRecorder",

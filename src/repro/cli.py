@@ -230,6 +230,146 @@ def _serving_memory(args: argparse.Namespace):
     return MemorySpec.from_config(get_config(args.config), **overrides)
 
 
+def _parse_faults(spec: Optional[str]):
+    """``--faults`` key=value entries as a :class:`repro.faults.FaultSpec`.
+
+    Comma-separated ``key=value`` pairs; ``crash-window=DEV:START:DUR``
+    and ``slow-window=DEV:START:DUR[:FACTOR]`` may repeat to stack
+    explicit windows.  Example::
+
+        --faults crash-mtbf=300,mttr=20,flaky=0.01,seed=7
+        --faults crash-window=1:30:10,slow-window=0:60:30:2.5
+    """
+    if spec is None:
+        return None
+    from repro.faults import FaultSpec
+
+    scalar = {
+        "seed": ("seed", int),
+        "crash-mtbf": ("crash_mtbf_s", float),
+        "mttr": ("crash_mttr_s", float),
+        "slow-mtbf": ("slow_mtbf_s", float),
+        "slow-duration": ("slow_duration_s", float),
+        "slow-factor": ("slow_factor", float),
+        "flaky": ("flaky_prob", float),
+    }
+    kwargs: dict = {}
+    crash_windows: List[tuple] = []
+    slow_windows: List[tuple] = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        key, equals, value = entry.partition("=")
+        key = key.strip().lower()
+        if not equals:
+            raise SystemExit(f"--faults: expected key=value, got {entry!r}")
+        try:
+            if key == "crash-window":
+                device, start, duration = value.split(":")
+                crash_windows.append((int(device), float(start), float(duration)))
+            elif key == "slow-window":
+                parts = value.split(":")
+                if len(parts) not in (3, 4):
+                    raise ValueError(value)
+                slow_windows.append(
+                    (int(parts[0]),) + tuple(float(part) for part in parts[1:])
+                )
+            elif key in scalar:
+                field, cast = scalar[key]
+                kwargs[field] = cast(value)
+            else:
+                raise SystemExit(
+                    f"--faults: unknown key {key!r}; known: "
+                    f"{', '.join(sorted(scalar))}, crash-window, slow-window"
+                )
+        except (TypeError, ValueError):
+            raise SystemExit(f"--faults: bad value in {entry!r}")
+    if crash_windows:
+        kwargs["crash_windows"] = tuple(crash_windows)
+    if slow_windows:
+        kwargs["slow_windows"] = tuple(slow_windows)
+    try:
+        faults = FaultSpec(**kwargs)
+    except ValueError as exc:
+        raise SystemExit(f"--faults: {exc}")
+    if not faults.any_faults:
+        raise SystemExit(
+            "--faults: the spec injects nothing; give it an MTBF, a window "
+            "or a flaky probability"
+        )
+    return faults
+
+
+def _parse_retry(spec: Optional[str]):
+    """``--retry`` key=value entries as a :class:`repro.faults.RetryPolicy`.
+
+    Example: ``--retry attempts=3,backoff=0.5,multiplier=2,jitter=0.1``;
+    ``hedge-after=S`` arms a hedged second attempt for slow requests.
+    """
+    if spec is None:
+        return None
+    from repro.faults import RetryPolicy
+
+    scalar = {
+        "attempts": ("max_attempts", int),
+        "backoff": ("backoff_s", float),
+        "multiplier": ("multiplier", float),
+        "jitter": ("jitter", float),
+        "seed": ("seed", int),
+        "hedge-after": ("hedge_after_s", float),
+    }
+    kwargs: dict = {}
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        key, equals, value = entry.partition("=")
+        key = key.strip().lower()
+        if not equals:
+            raise SystemExit(f"--retry: expected key=value, got {entry!r}")
+        if key not in scalar:
+            raise SystemExit(
+                f"--retry: unknown key {key!r}; known: {', '.join(sorted(scalar))}"
+            )
+        field, cast = scalar[key]
+        try:
+            kwargs[field] = cast(value)
+        except (TypeError, ValueError):
+            raise SystemExit(f"--retry: bad value in {entry!r}")
+    try:
+        return RetryPolicy(**kwargs)
+    except ValueError as exc:
+        raise SystemExit(f"--retry: {exc}")
+
+
+def _resilience_kwargs(args: argparse.Namespace, searching: bool) -> dict:
+    """The ``faults=/retry=/deadline_s=`` kwargs the chaos flags ask for.
+
+    A capacity/sizing search probes many simulations against the *clean*
+    SLO question, so the chaos flags are rejected there rather than
+    silently chaos-testing every probe.
+    """
+    if (
+        args.faults is None
+        and args.retry is None
+        and args.deadline_s is None
+    ):
+        return {}
+    if searching:
+        raise SystemExit(
+            "--faults/--retry/--deadline-s chaos-test one simulation; they "
+            "cannot follow a capacity/sizing search"
+        )
+    if args.deadline_s is not None and args.deadline_s <= 0:
+        raise SystemExit("--deadline-s must be positive")
+    return {
+        "faults": _parse_faults(args.faults),
+        "retry": _parse_retry(args.retry),
+        "deadline_s": args.deadline_s,
+    }
+
+
 def _validate_trace_flags(args: argparse.Namespace) -> None:
     """Reject trace flags that would be silently dropped.
 
@@ -489,6 +629,7 @@ def _serve_command(args: argparse.Namespace) -> int:
         raise SystemExit("--parallel parallelizes --find-max-qps probes")
     slo = _serving_slo(args)
     memory = _serving_memory(args)
+    resilience = _resilience_kwargs(args, searching=args.find_max_qps)
     scheduler_factory = _SCHEDULERS[args.scheduler]
     runner = ExperimentRunner()
     cost = BackendCostModel(args.backend, runner=runner)
@@ -542,6 +683,7 @@ def _serve_command(args: argparse.Namespace) -> int:
             trace_sink=args.stream_trace,
             keep_records=args.stream_trace is None,
             recorder=recorder,
+            **resilience,
         )
         headers, rows = report.summary_rows()
         title = (
@@ -640,6 +782,7 @@ def _fleet_command(args: argparse.Namespace) -> int:
         raise SystemExit("--parallel parallelizes --size-for-qps probes")
     slo = _serving_slo(args)
     memory = _serving_memory(args)
+    resilience = _resilience_kwargs(args, searching=args.size_for_qps is not None)
     runner = ExperimentRunner()
     sharding = ShardingSpec(tensor_parallel=args.tp, pipeline_parallel=args.pp)
     # Each replica owns the DRAM/flash of all its chips (tp x pp of them);
@@ -737,6 +880,7 @@ def _fleet_command(args: argparse.Namespace) -> int:
             trace_sink=args.stream_trace,
             keep_records=args.stream_trace is None,
             recorder=recorder,
+            **resilience,
         )
         cost_models = [device.cost for device in fleet]
         headers, rows = report.summary_rows()
@@ -940,6 +1084,25 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
         dest="flash_gb",
         help="model KV memory: cap the per-chip flash spill area at this "
              "many GiB (default: whatever the --config flash array holds)",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject seeded faults (repro.faults): comma-separated "
+             "key=value pairs among seed, crash-mtbf, mttr, slow-mtbf, "
+             "slow-duration, slow-factor, flaky, crash-window=DEV:START:DUR, "
+             "slow-window=DEV:START:DUR[:FACTOR]; e.g. "
+             "'crash-mtbf=300,mttr=20,flaky=0.01'",
+    )
+    parser.add_argument(
+        "--retry", default=None, metavar="SPEC",
+        help="client retry policy: key=value pairs among attempts, backoff, "
+             "multiplier, jitter, seed, hedge-after; e.g. "
+             "'attempts=3,backoff=0.5,multiplier=2'",
+    )
+    parser.add_argument(
+        "--deadline-s", type=float, default=None, metavar="SEC",
+        help="per-request deadline on the simulated clock: queued work past "
+             "it is shed, finished work past it counts as timed out",
     )
     parser.add_argument("--slo-ttft", type=float, default=None, help="TTFT SLO (s)")
     parser.add_argument(

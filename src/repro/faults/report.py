@@ -1,0 +1,96 @@
+"""Resilience outcomes of a fault-injected run.
+
+Attached as the ``faults`` field of :class:`repro.serving.ServingReport`
+and :class:`repro.fleet.FleetReport` whenever a run was executed with a
+fault spec, retry policy, or deadline — ``None`` otherwise, so
+fault-free reports are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["FaultReport"]
+
+
+@dataclass
+class FaultReport:
+    """Counters and availability math for one run.
+
+    ``availability`` is device-time based: the fraction of total
+    device-seconds (``num_devices * makespan_s``) during which replicas
+    were up.  ``time_to_recover_s`` holds one entry per completed
+    crash/recover cycle; a crash still unrecovered at the end of the
+    run contributes downtime but no recovery sample.
+    """
+
+    num_devices: int = 1
+    makespan_s: float = 0.0
+    #: Crash onsets / completed recoveries observed inside the run.
+    crashes: int = 0
+    recoveries: int = 0
+    #: Total device-seconds spent down.
+    downtime_s: float = 0.0
+    #: Per-recovery downtime durations, in event order.
+    time_to_recover_s: Tuple[float, ...] = ()
+    #: Slowdown windows opened inside the run.
+    slow_windows: int = 0
+    #: Requests shed at admission because their deadline had expired.
+    shed: int = 0
+    #: Requests that completed after their deadline.
+    timed_out: int = 0
+    #: Requests that exhausted retries (or had none) on flaky failures.
+    failed: int = 0
+    #: Client retry attempts dispatched.
+    retries: int = 0
+    #: Requests re-queued because a crash aborted their device.
+    requeued: int = 0
+    #: Hedge attempts dispatched / hedges that beat their primary.
+    hedges: int = 0
+    hedge_wins: int = 0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of device-time the fleet was up, in ``[0, 1]``."""
+        total = self.num_devices * self.makespan_s
+        if total <= 0.0:
+            return 1.0
+        return max(0.0, 1.0 - self.downtime_s / total)
+
+    @property
+    def mean_time_to_recover_s(self) -> float:
+        if not self.time_to_recover_s:
+            return 0.0
+        return sum(self.time_to_recover_s) / len(self.time_to_recover_s)
+
+    @property
+    def max_time_to_recover_s(self) -> float:
+        return max(self.time_to_recover_s) if self.time_to_recover_s else 0.0
+
+    def rows(self) -> List[Tuple[str, str]]:
+        """(label, value) pairs for report summaries."""
+        rows = [
+            ("availability", f"{100.0 * self.availability:.3f}%"),
+            ("crashes / recoveries", f"{self.crashes} / {self.recoveries}"),
+        ]
+        if self.time_to_recover_s:
+            rows.append(
+                (
+                    "time to recover (mean/max)",
+                    f"{self.mean_time_to_recover_s:.2f} s / "
+                    f"{self.max_time_to_recover_s:.2f} s",
+                )
+            )
+        rows.append(
+            (
+                "shed / timed out / failed",
+                f"{self.shed} / {self.timed_out} / {self.failed}",
+            )
+        )
+        rows.append(("retries / crash re-queues", f"{self.retries} / {self.requeued}"))
+        if self.hedges:
+            rows.append(("hedges (dispatched/won)", f"{self.hedges} / {self.hedge_wins}"))
+        if self.slow_windows:
+            rows.append(("slowdown windows", str(self.slow_windows)))
+        return rows

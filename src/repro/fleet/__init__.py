@@ -11,8 +11,9 @@ the FlexGen offloading hosts, MLC-LLM — becomes a fleet building block:
 * a :class:`ShardingSpec` derives a tensor-/pipeline-sharded replica from
   a base backend as a pure per-phase latency transform;
 * a :class:`Router` assigns each arrival to a device — round-robin,
-  join-shortest-queue, least-work, SLO/heterogeneity-aware, or
-  memory-headroom (most free KV DRAM);
+  join-shortest-queue, least-work, SLO/heterogeneity-aware,
+  memory-headroom (most free KV DRAM), or health-aware failover
+  (:mod:`repro.faults` runs);
 * :func:`simulate_fleet` merges the per-device timelines into one
   deterministic :class:`FleetReport` (aggregate percentiles and goodput,
   per-device utilization and queue depth, imbalance);
@@ -45,6 +46,7 @@ from repro.fleet.device import Device
 from repro.fleet.report import FLEET_TRACE_CSV_FIELDS, FleetReport
 from repro.fleet.router import (
     ROUTERS,
+    FailoverRouter,
     JoinShortestQueueRouter,
     LeastWorkRouter,
     MemoryHeadroomRouter,
@@ -67,6 +69,7 @@ __all__ = [
     "LeastWorkRouter",
     "SLOAwareRouter",
     "MemoryHeadroomRouter",
+    "FailoverRouter",
     "ROUTERS",
     "get_router",
     "ShardingSpec",

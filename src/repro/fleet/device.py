@@ -40,6 +40,8 @@ class Device:
         "keep_records",
         "track_work",
         "queue_stats",
+        "up",
+        "gate",
     )
 
     def __init__(
@@ -99,6 +101,15 @@ class Device:
         #: Streaming replacement for :attr:`queue_depth` (set by
         #: ``keep_records=False`` fleet runs).
         self.queue_stats = None
+
+        # -- health state (fault-injected runs only) --------------------------
+        #: False while a crash window is open.  Plain runs never clear it,
+        #: so health-aware routing guards are no-ops without faults.
+        self.up = True
+        #: The per-device :class:`repro.faults.engine.FaultGate` attached
+        #: by the fault-aware event loop (None on plain runs); routers read
+        #: it for the "slowed" health signal.
+        self.gate = None
 
     # -- routing signals -----------------------------------------------------
     def job_seconds(self, record: RequestRecord) -> float:

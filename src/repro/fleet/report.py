@@ -63,6 +63,9 @@ class FleetReport:
     #: :class:`~repro.obs.timeline.TimelineCollector` with alert rules;
     #: None when the run carried no alerting observer.
     alerts: Optional["AlertLog"] = None
+    #: Resilience counters (:class:`repro.faults.FaultReport`) from a
+    #: fault-injected run; None on plain runs.
+    faults: Optional["FaultReport"] = None
 
     # -- fleet shape ---------------------------------------------------------
     @property
@@ -174,6 +177,8 @@ class FleetReport:
             )
         if self.num_completed != self.num_requests:
             rows.insert(3, ["completed", self.num_completed])
+        if self.faults is not None:
+            rows.extend([label, value] for label, value in self.faults.rows())
         if self.slo is not None:
             rows.extend(
                 [

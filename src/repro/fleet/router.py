@@ -8,7 +8,7 @@ cache).  All policies are deterministic: decisions are pure functions of
 the visible state with ties broken by device index, which is what keeps a
 seeded fleet trace byte-identical.
 
-Five policies are built in:
+Six policies are built in:
 
 * :class:`RoundRobinRouter` — cycle through devices regardless of state;
   the stateless baseline.
@@ -27,6 +27,19 @@ Five policies are built in:
   falling back to shortest queue on ties or when no replica models
   memory.  The policy that keeps one replica from spilling to flash
   while its siblings sit on cold DRAM.
+* :class:`FailoverRouter` — health-first JSQ for fault-injected runs
+  (:mod:`repro.faults`): healthy replicas before slowed ones before
+  crashed ones, shortest queue within a rank.  Crashed replicas are
+  ejected the instant the fault applies and re-admitted on recovery,
+  because health is read live from ``Device.up`` / ``Device.gate``.
+
+Every policy additionally accepts ``exclude_unhealthy=True``, a guard
+that steers arrivals away from crashed (``Device.up`` is False)
+replicas while keeping the policy's own score for the healthy ones.
+When *every* replica is down the guard degrades to the unguarded
+policy — the arrival queues on a crashed device and waits out the
+recovery — rather than refusing to route.  On fault-free runs every
+device is permanently up, so the guard never changes a decision.
 """
 
 from __future__ import annotations
@@ -59,6 +72,11 @@ class Router:
     name = "router"
     #: Set by :func:`repro.fleet.simulator.simulate_fleet` on first use.
     used = False
+    #: When True, crashed replicas (``Device.up`` False) are routed
+    #: around whenever at least one replica is still up.  Class default
+    #: so policies without an ``__init__`` inherit it; instances set it
+    #: via the base constructor.
+    exclude_unhealthy = False
     #: Whether :meth:`route` reads ``Device.outstanding_work_s``.  The
     #: fleet loop skips per-record work-estimate bookkeeping for policies
     #: that never look at it (two cost-model lookups per request).
@@ -70,6 +88,9 @@ class Router:
     recorder = None
     #: Recorder track routing instants land on.
     track = "router"
+
+    def __init__(self, exclude_unhealthy: bool = False) -> None:
+        self.exclude_unhealthy = exclude_unhealthy
 
     def _record_route(
         self, record: RequestRecord, now: float, index: int, scores
@@ -107,19 +128,38 @@ class Router:
                 best = index
         return best
 
+    @staticmethod
+    def _guarded(scores: Sequence[object], devices: Sequence[Device]) -> List[object]:
+        """Scores prefixed with a down-rank for the ``exclude_unhealthy``
+        scan: up replicas outrank down ones, the policy score breaks the
+        tie within a rank (tuples compare lexicographically)."""
+        return [
+            (not device.up, score) for device, score in zip(devices, scores)
+        ]
+
 
 class RoundRobinRouter(Router):
     """Cycle through the devices in index order."""
 
     name = "round-robin"
 
-    def __init__(self) -> None:
+    def __init__(self, exclude_unhealthy: bool = False) -> None:
+        super().__init__(exclude_unhealthy)
         self._next = 0
 
     def route(
         self, record: RequestRecord, devices: Sequence[Device], now: float
     ) -> int:
-        index = self._next % len(devices)
+        count = len(devices)
+        index = self._next % count
+        if self.exclude_unhealthy and not devices[index].up:
+            # Keep cycling until an up replica turns up; a full lap with
+            # none degrades to the plain rotation.
+            for offset in range(1, count):
+                candidate = (index + offset) % count
+                if devices[candidate].up:
+                    index = candidate
+                    break
         self._next = index + 1
         if self.recorder is not None:
             self._record_route(record, now, index, None)
@@ -141,7 +181,8 @@ class JoinShortestQueueRouter(Router):
 
     name = "jsq"
 
-    def __init__(self) -> None:
+    def __init__(self, exclude_unhealthy: bool = False) -> None:
+        super().__init__(exclude_unhealthy)
         self._counts: Optional[List[int]] = None
         self._heap: Optional[List[Tuple[int, int]]] = None
 
@@ -169,9 +210,23 @@ class JoinShortestQueueRouter(Router):
         counts = self._counts
         if counts is None or len(counts) != len(devices):
             scores = [device.outstanding for device in devices]
+            if self.exclude_unhealthy:
+                scores = self._guarded(scores, devices)
             index = self._argmin(scores)
             if self.recorder is not None:
                 self._record_route(record, now, index, scores)
+            return index
+        if self.exclude_unhealthy:
+            # Health can flip between any two decisions, so the guarded
+            # path scans the live mirror instead of trusting the heap —
+            # and keeps the mirror/heap coherent for a later unguarded
+            # fast path (the chosen replica's count still goes up by 1).
+            scores = self._guarded(list(counts), devices)
+            index = self._argmin(scores)
+            if self.recorder is not None:
+                self._record_route(record, now, index, scores)
+            counts[index] += 1
+            heapq.heappush(self._heap, (counts[index], index))
             return index
         heap = self._heap
         while True:
@@ -205,6 +260,8 @@ class LeastWorkRouter(Router):
         self, record: RequestRecord, devices: Sequence[Device], now: float
     ) -> int:
         scores = [device.outstanding_work_s for device in devices]
+        if self.exclude_unhealthy:
+            scores = self._guarded(scores, devices)
         index = self._argmin(scores)
         if self.recorder is not None:
             self._record_route(record, now, index, scores)
@@ -229,6 +286,8 @@ class SLOAwareRouter(Router):
             device.outstanding_work_s + device.job_seconds(record)
             for device in devices
         ]
+        if self.exclude_unhealthy:
+            scores = self._guarded(scores, devices)
         index = self._argmin(scores)
         if self.recorder is not None:
             self._record_route(record, now, index, scores)
@@ -264,6 +323,43 @@ class MemoryHeadroomRouter(Router):
             (-device.free_dram_bytes, device.outstanding)
             for device in devices
         ]
+        if self.exclude_unhealthy:
+            scores = self._guarded(scores, devices)
+        index = self._argmin(scores)
+        if self.recorder is not None:
+            self._record_route(record, now, index, scores)
+        return index
+
+
+class FailoverRouter(Router):
+    """Health-first routing for fault-injected fleets.
+
+    Replicas are ranked by live health — up and full-speed (0), up but
+    inside a slowdown window (1), crashed (2) — with shortest queue
+    breaking ties inside a rank.  Ejection and re-admission are
+    immediate and free: health is read straight off ``Device.up`` and
+    the device's attached fault gate at every decision, and the
+    fault-aware event loop applies crash/recover transitions *before*
+    same-instant arrivals route (the :mod:`repro.serving.events`
+    contract), so an arrival at the crash instant already steers around
+    the dead replica.  With every replica down the policy degrades to
+    plain JSQ over the crashed set rather than refusing to route.  On a
+    fault-free fleet every rank is 0 and the policy *is* scan-JSQ.
+    """
+
+    name = "failover"
+
+    def route(
+        self, record: RequestRecord, devices: Sequence[Device], now: float
+    ) -> int:
+        scores = []
+        for device in devices:
+            if not device.up:
+                rank = 2
+            else:
+                gate = device.gate
+                rank = 1 if gate is not None and gate.slow_factor != 1.0 else 0
+            scores.append((rank, device.outstanding))
         index = self._argmin(scores)
         if self.recorder is not None:
             self._record_route(record, now, index, scores)
@@ -277,14 +373,19 @@ ROUTERS = {
     LeastWorkRouter.name: LeastWorkRouter,
     SLOAwareRouter.name: SLOAwareRouter,
     MemoryHeadroomRouter.name: MemoryHeadroomRouter,
+    FailoverRouter.name: FailoverRouter,
 }
 
 
-def get_router(name: str) -> Router:
-    """Instantiate a router by name (:data:`ROUTERS` keys)."""
+def get_router(name: str, **kwargs) -> Router:
+    """Instantiate a router by name (:data:`ROUTERS` keys).
+
+    Keyword arguments (e.g. ``exclude_unhealthy=True``) pass through to
+    the policy's constructor.
+    """
     key = name.lower()
     if key not in ROUTERS:
         raise KeyError(
             f"unknown router {name!r}; available: {', '.join(sorted(ROUTERS))}"
         )
-    return ROUTERS[key]()
+    return ROUTERS[key](**kwargs)

@@ -114,6 +114,9 @@ def simulate_fleet(
     keep_records: bool = True,
     recorder=None,
     profiler=None,
+    faults=None,
+    retry=None,
+    deadline_s: Optional[float] = None,
 ) -> FleetReport:
     """Run the arrival stream across the fleet and merge the timelines.
 
@@ -140,7 +143,33 @@ def simulate_fleet(
     scores (track ``router``), and per-replica memory instants (tracks
     ``memory0..N``); ``profiler`` times the loop's dispatch/planning/fold
     phases on the wall clock.  Neither changes a single simulated float.
+
+    Resilience: any of ``faults`` (a :class:`repro.faults.FaultSpec`),
+    ``retry`` (a :class:`repro.faults.RetryPolicy`) or ``deadline_s``
+    (per-request deadline, seconds) hands the run to the fault-aware
+    event loop (:func:`repro.faults.engine.simulate_fleet_with_faults`),
+    which accepts this function's full surface.  With all three at their
+    None defaults this loop runs untouched — fault-free traces stay
+    byte-identical to earlier versions by construction.
     """
+    if faults is not None or retry is not None or deadline_s is not None:
+        from repro.faults.engine import simulate_fleet_with_faults
+
+        return simulate_fleet_with_faults(
+            requests,
+            devices,
+            router,
+            faults=faults,
+            retry=retry,
+            deadline_s=deadline_s,
+            slo=slo,
+            max_steps=max_steps,
+            fail_fast=fail_fast,
+            trace_sink=trace_sink,
+            keep_records=keep_records,
+            recorder=recorder,
+            profiler=profiler,
+        )
     router = router if router is not None else JoinShortestQueueRouter()
     if max_steps is not None and max_steps < 1:
         raise ValueError("max_steps must be at least 1 when given")

@@ -17,7 +17,10 @@ and folds them into fixed-width windows on the **simulated** clock:
   across the windows they overlap),
 * KV spill/refill bytes and the DRAM occupancy level (from the
   scheduler's ``"dram"`` instants, carried forward across quiet windows),
-* exact per-window TTFT/TPOT/e2e reservoirs, reduced to p50/p95/p99.
+* exact per-window TTFT/TPOT/e2e reservoirs, reduced to p50/p95/p99,
+* fault-engine lifecycle counts (total fault events plus shed / retried /
+  timed-out / failed requests, from the ``"faults"``-track instants the
+  :mod:`repro.faults` engine emits; blank columns on fault-free runs).
 
 Everything is derived from the deterministic event stream, so the rows,
 the CSV (:meth:`TimelineCollector.to_csv`) and the per-window gauge view
@@ -71,6 +74,11 @@ TIMELINE_CSV_FIELDS = [
     "kv_spill_bytes",
     "kv_refill_bytes",
     "kv_dram_peak_bytes",
+    "fault_events",
+    "shed",
+    "retries",
+    "timed_out",
+    "failed",
 ]
 
 #: The track :func:`repro.obs.recorder.record_request_phases` is called
@@ -109,6 +117,11 @@ class _Window:
         "refill_bytes",
         "dram_peak",
         "dram_last",
+        "fault_events",
+        "shed",
+        "retries",
+        "timed_out",
+        "failed",
     )
 
     def __init__(self) -> None:
@@ -123,6 +136,11 @@ class _Window:
         self.refill_bytes = 0
         self.dram_peak: Optional[int] = None
         self.dram_last: Optional[int] = None
+        self.fault_events = 0
+        self.shed = 0
+        self.retries = 0
+        self.timed_out = 0
+        self.failed = 0
 
 
 class TimelineCollector(Recorder):
@@ -168,6 +186,7 @@ class TimelineCollector(Recorder):
         self._queue_events: List[Tuple[float, int]] = []
         self._device_tracks: Dict[str, None] = {}
         self._saw_memory = False
+        self._saw_faults = False
         self._t_max = 0.0
         self._rows: Optional[List[dict]] = None
 
@@ -252,6 +271,22 @@ class TimelineCollector(Recorder):
             raise ValueError("this TimelineCollector is finalized; use a fresh one")
         if ts_s > self._t_max:
             self._t_max = ts_s
+        if track == "faults":
+            # The fault engine's lifecycle instants: every one counts
+            # toward fault_events, outcome-bearing names also increment
+            # their dedicated column.
+            self._saw_faults = True
+            window = self._window(ts_s)
+            window.fault_events += 1
+            if name == "shed":
+                window.shed += 1
+            elif name == "retry":
+                window.retries += 1
+            elif name == "timeout":
+                window.timed_out += 1
+            elif name == "failed":
+                window.failed += 1
+            return
         if args is None:
             return
         if name == "spill":
@@ -345,6 +380,22 @@ class TimelineCollector(Recorder):
                 row["kv_spill_bytes"] = None
                 row["kv_refill_bytes"] = None
                 row["kv_dram_peak_bytes"] = None
+            if self._saw_faults:
+                row["fault_events"] = (
+                    window.fault_events if window is not None else 0
+                )
+                row["shed"] = window.shed if window is not None else 0
+                row["retries"] = window.retries if window is not None else 0
+                row["timed_out"] = (
+                    window.timed_out if window is not None else 0
+                )
+                row["failed"] = window.failed if window is not None else 0
+            else:
+                row["fault_events"] = None
+                row["shed"] = None
+                row["retries"] = None
+                row["timed_out"] = None
+                row["failed"] = None
             rows.append(row)
         self._rows = rows
         if self.rules:

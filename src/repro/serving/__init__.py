@@ -30,7 +30,7 @@ inputs give byte-identical reports on every machine.
 """
 
 from repro.serving.capacity import CapacityResult, find_max_qps
-from repro.serving.events import ARRIVAL, COMPLETION, PLANNING, EventQueue
+from repro.serving.events import ARRIVAL, COMPLETION, FAULT, PLANNING, EventQueue
 from repro.serving.metrics import (
     ServingReport,
     SLOSpec,
@@ -84,6 +84,7 @@ __all__ = [
     "find_max_qps",
     "EventQueue",
     "COMPLETION",
+    "FAULT",
     "ARRIVAL",
     "PLANNING",
     "TraceStreamer",

@@ -3,14 +3,17 @@
 Both :func:`repro.serving.simulator.simulate` and
 :func:`repro.fleet.simulator.simulate_fleet` advance a virtual clock over
 the same two primitive events — device-occupancy completions and request
-arrivals — followed by the planning opportunities they create.  The
-:class:`EventQueue` is the shared priority queue those loops pop from: a
-``heapq`` of ``(time, kind, index, seq)`` entries, so finding the next
-event costs O(log n) pushes/pops instead of an O(devices) scan per
-iteration.  Arrivals stay outside the heap (workload generators emit them
-already sorted; the loops merge the stream head against
-:meth:`EventQueue.peek_time`), so in practice the heap holds only the
-in-flight occupancy completions — at most one per busy device.
+arrivals — followed by the planning opportunities they create, and the
+fault-aware loop (:mod:`repro.faults.engine`) adds a third: per-device
+fault transitions (crash/recover/slowdown).  The :class:`EventQueue` is
+the shared priority queue those loops pop from: a ``heapq`` of
+``(time, kind, index, seq)`` entries, so finding the next event costs
+O(log n) pushes/pops instead of an O(devices) scan per iteration.
+Arrivals stay outside the heap (workload generators emit them already
+sorted; the loops merge the stream head against
+:meth:`EventQueue.peek_time`), so in practice the heap holds the
+in-flight occupancy completions — at most one per busy device — plus, on
+fault-injected runs, at most one upcoming fault transition per device.
 
 The event-ordering contract
 ---------------------------
@@ -21,10 +24,14 @@ tuples encode exactly the order the linear-scan loops used:
 
 1. ``time``: virtual seconds; earlier events first.
 2. ``kind``: at equal times, :data:`COMPLETION` (0) sorts before
-   :data:`ARRIVAL` (1) sorts before :data:`PLANNING` (2).  Completions
-   due *now* are stamped before new arrivals are routed, and arrivals are
-   delivered before idle devices plan — the single-device iteration
-   order, generalized.
+   :data:`FAULT` (1) sorts before :data:`ARRIVAL` (2) sorts before
+   :data:`PLANNING` (3).  Completions due *now* are stamped before a
+   simultaneous fault transition applies (an occupancy ending at the
+   crash instant still counts — its tokens were produced), faults apply
+   before new arrivals are routed (an arrival at the crash instant
+   already sees the device down, so health-aware routing steers around
+   it), and arrivals are delivered before idle devices plan — the
+   single-device iteration order, generalized.
 3. ``index``: at equal (time, kind), the smaller device index wins —
    the fleet loop's "device order is the tie-break" rule.
 4. ``seq``: a monotonic push counter, making the sort total (and stable
@@ -34,7 +41,10 @@ tuples encode exactly the order the linear-scan loops used:
 Consumers must preserve the contract when batching: popping everything
 due at one instant via :meth:`pop_due` yields the entries already in this
 order, and planning passes run over the touched-device set in ascending
-index order.
+index order.  Client retries re-enter through the *arrival* stage (a
+retry heap merged against the workload stream, source arrivals first at
+equal timestamps), so a retry landing on an existing event time slots
+into the same total order as any other arrival.
 """
 
 from __future__ import annotations
@@ -44,8 +54,9 @@ from typing import Dict, List, Optional, Tuple
 
 #: Event kinds, in tie-break order (see the module docstring).
 COMPLETION = 0
-ARRIVAL = 1
-PLANNING = 2
+FAULT = 1
+ARRIVAL = 2
+PLANNING = 3
 
 #: One scheduled event: (time, kind, index, seq).
 Event = Tuple[float, int, int, int]

@@ -24,7 +24,9 @@ from typing import TYPE_CHECKING, Dict, List, MutableSequence, Optional, Sequenc
 from repro.serving.request import RequestRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.faults.report import FaultReport
     from repro.memory import MemoryReport
+    from repro.obs.alerts import AlertLog
 
 #: Percentiles reported for every latency metric.
 REPORT_PERCENTILES = (50.0, 95.0, 99.0)
@@ -179,7 +181,7 @@ class StreamedMetrics:
                 tpot = (finish - first) / request.gen_tokens
                 self.tpots.append(tpot)
                 if slo is not None:
-                    if not (
+                    if record.outcome is None and not (
                         (slo.ttft_s is not None and ttft > slo.ttft_s)
                         or (slo.tpot_s is not None and tpot > slo.tpot_s)
                         or (slo.e2e_s is not None and e2e > slo.e2e_s)
@@ -246,7 +248,10 @@ def metric_sample(
             tpot = (finish - first) / request.gen_tokens
     if slo is None:
         met: Optional[bool] = None
-    elif first is None or finish is None:
+    elif record.outcome is not None or first is None or finish is None:
+        # A terminal fault outcome (shed / timed_out / failed) is an SLO
+        # miss even when the record carries full latency stamps — a
+        # timed-out request did finish, but past its deadline.
         met = False
     else:
         met = not (
@@ -285,8 +290,13 @@ class SLOSpec:
         """Whether one completed request satisfies every threshold.
 
         A request that never produced its first token or never finished
-        cannot have met a latency objective, whatever the thresholds.
+        cannot have met a latency objective, whatever the thresholds —
+        and neither can one a fault-injected run marked with a terminal
+        ``outcome`` (shed, timed out, or permanently failed), however
+        fast its surviving stamps look.
         """
+        if record.outcome is not None:
+            return False
         if record.first_token_s is None or record.finish_s is None:
             return False
         if self.ttft_s is not None and record.ttft_s > self.ttft_s:
@@ -338,6 +348,9 @@ class ServingReport:
     #: None when the run carried no alerting observer.  Pure metadata —
     #: never consulted by any metric on this report.
     alerts: Optional["AlertLog"] = None
+    #: Resilience counters (:class:`repro.faults.FaultReport`) from a
+    #: fault-injected run; None on plain runs.
+    faults: Optional["FaultReport"] = None
 
     def __post_init__(self) -> None:
         #: metric name -> sorted values, so repeated percentile queries
@@ -546,6 +559,8 @@ class ServingReport:
             )
         if self.memory is not None:
             rows.extend([label, value] for label, value in self.memory.rows())
+        if self.faults is not None:
+            rows.extend([label, value] for label, value in self.faults.rows())
         if self.slo is not None:
             rows.extend(
                 [

@@ -7,6 +7,13 @@ mutable :class:`RequestRecord` that accumulates the lifecycle timestamps
 (prefill start, first token, finish) from which every SLO metric — queue
 wait, TTFT, time-per-output-token, end-to-end latency — is derived.
 
+Fault-injected runs (:mod:`repro.faults`) additionally track resilience
+state per record: the attempt count, client retries, the per-attempt
+dispatch times, and a terminal ``outcome`` for requests that never
+produced a usable result (``"shed"``, ``"timed_out"``, ``"failed"``).
+On plain runs every one of those fields keeps its default, so records
+from fault-free simulations are unchanged.
+
 All times are seconds on the *simulated* clock; nothing in
 :mod:`repro.serving` ever reads the wall clock.
 """
@@ -52,6 +59,27 @@ class RequestRecord:
     prefill_start_s: Optional[float] = None
     first_token_s: Optional[float] = None
     finish_s: Optional[float] = None
+
+    # -- resilience state (fault-injected runs only) --------------------------
+    #: Dispatches to a device: 1 on plain runs (0 until delivered), +1 per
+    #: client retry and per crash re-queue.
+    attempts: int = 0
+    #: Client retries dispatched for this request (flaky failures only).
+    retries: int = 0
+    #: Terminal non-success state: None (pending or served), "shed",
+    #: "timed_out", or "failed".  Any non-None outcome is an SLO miss.
+    outcome: Optional[str] = None
+    #: Simulated dispatch time of each attempt, in order (None until the
+    #: first dispatch on a fault-aware run; plain runs never populate it).
+    attempt_s: Optional[list] = None
+    #: This record is a hedge attempt spawned by a
+    #: :class:`repro.faults.RetryPolicy`, not a client request — it never
+    #: appears in reports or traces (its stamps are copied to the primary
+    #: record if it wins).
+    hedge: bool = False
+    #: Marked by the fault engine when the record should be silently
+    #: dropped from a waiting queue (hedge resolved elsewhere).
+    cancelled: bool = False
 
     # -- delegation ----------------------------------------------------------
     @property

@@ -58,6 +58,38 @@ where DRAM would fill (regime A), and a spilling batch plans strictly
 one step per occupancy (regime B), so coalesced and ``max_steps=1``
 runs stay byte-identical with the model enabled too.  ``memory=None``
 (the default) leaves the slot-count path untouched.
+
+Faults
+------
+
+The fault-aware event loop (:mod:`repro.faults.engine`) attaches a
+per-device ``FaultGate`` to :attr:`Scheduler.faults` before a run.  The
+gate adds three behaviours, all inert when the attribute is None (the
+class default, so plain runs pay a single identity check):
+
+* **Load shedding** — at every planning call the waiting queue drops
+  requests whose deadline already expired (projected queue wait is
+  lower-bounded by the wait *already* incurred, so an expired request
+  provably cannot meet its deadline whatever the scheduler does) and
+  silently discards cancelled hedge attempts.  The gate's callbacks do
+  the loop-side bookkeeping.
+* **Slowdown pricing** — prefill and decode-step latencies are
+  multiplied by ``gate.slow_factor`` while a slowdown window is open.
+  The multiplier applies at planning time: a non-preemptive occupancy
+  planned before the window opened runs at its planned speed, and
+  memo entries always cache the unscaled latency.
+* **Fault boundaries cap coalescing** — a fault transition is a new
+  *interesting boundary*: a coalesced decode window never extends a step
+  past ``gate.boundary_s`` (the device's next scheduled fault), so the
+  straddling step — the one the crash aborts or the slowdown reprices —
+  is planned as its own single-step occupancy in coalesced and
+  step-by-step runs alike, keeping them byte-identical under faults.
+
+``evict_all`` supports crash aborts: it drains every request the
+scheduler still owes work to (in-flight batch members first, then the
+queue, both in deterministic order), releasing any KV residency the
+memory model holds for them — the re-queued requests pay a fresh
+re-prefill (and re-spill) when they are admitted elsewhere.
 """
 
 from __future__ import annotations
@@ -128,6 +160,11 @@ class Scheduler:
     #: Recorder track this scheduler's decision instants land on; the
     #: fleet loop renames it per replica (``device0``, ``device1``, ...).
     track = "device"
+    #: Per-run fault gate (:class:`repro.faults.engine.FaultGate`),
+    #: attached by the fault-aware event loop; None (the class default)
+    #: keeps every fault consultation on the plain loops a single
+    #: identity check.
+    faults = None
 
     def __init__(self) -> None:
         self._waiting: Deque[RequestRecord] = deque()
@@ -163,6 +200,53 @@ class Scheduler:
         """
         raise NotImplementedError
 
+    # -- fault support -------------------------------------------------------
+    def _shed_expired(self, now: float) -> None:
+        """Drop unservable queue members at the admission boundary.
+
+        Sheds requests whose deadline has already expired (they provably
+        cannot meet it — the wait still ahead of them is non-negative)
+        and silently discards cancelled hedge attempts, notifying the
+        event loop through the gate's callbacks.  Queue order of the
+        survivors is preserved, so the drop is deterministic.
+        """
+        gate = self.faults
+        deadline = gate.deadline_s
+        if deadline is None and not gate.dirty:
+            return
+        gate.dirty = False
+        waiting = self._waiting
+        doomed = False
+        for record in waiting:
+            if record.cancelled or (
+                deadline is not None and now > record.arrival_s + deadline
+            ):
+                doomed = True
+                break
+        if not doomed:
+            return
+        kept: Deque[RequestRecord] = deque()
+        for record in waiting:
+            if record.cancelled:
+                gate.drop(record)
+            elif deadline is not None and now > record.arrival_s + deadline:
+                gate.shed(record, now)
+            else:
+                kept.append(record)
+        self._waiting = kept
+
+    def evict_all(self) -> List[RequestRecord]:
+        """Crash support: drain every request this scheduler owes work to.
+
+        Returns in-flight batch members first (in batch order), then the
+        waiting queue (in queue order) — a deterministic drain the fault
+        engine resets and re-routes.  The base scheduler holds no batch
+        state, so only the queue drains here.
+        """
+        evicted = list(self._waiting)
+        self._waiting.clear()
+        return evicted
+
 
 class FCFSScheduler(Scheduler):
     """First-come-first-served, one request on the device at a time.
@@ -180,12 +264,20 @@ class FCFSScheduler(Scheduler):
         horizon: Optional[float] = None,
         max_steps: Optional[int] = None,
     ) -> Optional[Occupancy]:
+        gate = self.faults
+        if gate is not None and self._waiting:
+            self._shed_expired(now)
         if not self._waiting:
             return None
         record = self._waiting.popleft()
+        ttft = cost.ttft(record.request)
+        total = cost.total_seconds(record.request)
+        if gate is not None and gate.slow_factor != 1.0:
+            ttft *= gate.slow_factor
+            total *= gate.slow_factor
         record.prefill_start_s = now
-        record.first_token_s = now + cost.ttft(record.request)
-        return Occupancy(JOB, cost.total_seconds(record.request), [record])
+        record.first_token_s = now + ttft
+        return Occupancy(JOB, total, [record])
 
 
 class StaticBatchScheduler(Scheduler):
@@ -215,6 +307,9 @@ class StaticBatchScheduler(Scheduler):
         horizon: Optional[float] = None,
         max_steps: Optional[int] = None,
     ) -> Optional[Occupancy]:
+        gate = self.faults
+        if gate is not None and self._waiting:
+            self._shed_expired(now)
         if not self._waiting:
             return None
         count = min(self.max_batch, len(self._waiting))
@@ -227,6 +322,9 @@ class StaticBatchScheduler(Scheduler):
         step = max(
             cost.decode_step(record.request, batch_size=lanes) for record in batch
         )
+        if gate is not None and gate.slow_factor != 1.0:
+            prefill *= gate.slow_factor
+            step *= gate.slow_factor
         for record in batch:
             record.prefill_start_s = now
             record.first_token_s = now + prefill
@@ -301,6 +399,9 @@ class ContinuousBatchScheduler(Scheduler):
             self._ttft_memo.clear()
             self._step_memo.clear()
             self._memo_cost = cost
+        gate = self.faults
+        if gate is not None and self._waiting:
+            self._shed_expired(now)
         memory = self.memory
         rec = self.recorder
         if rec is not None and memory is not None:
@@ -324,6 +425,10 @@ class ContinuousBatchScheduler(Scheduler):
                     if len(memo) >= self.MEMO_SIZE:
                         memo.clear()
                     memo[id(request)] = (request, ttft)
+                if gate is not None and gate.slow_factor != 1.0:
+                    # Memo entries cache the unscaled latency; the window
+                    # multiplier applies per planning call.
+                    ttft *= gate.slow_factor
                 record.prefill_start_s = now
                 record.first_token_s = now + ttft
                 self._active.append([record, request.gen_tokens, request])
@@ -391,12 +496,17 @@ class ContinuousBatchScheduler(Scheduler):
                 cost.decode_step(request, batch_size=lanes)
                 for request, _ in payloads.values()
             )
+        if gate is not None and gate.slow_factor != 1.0:
+            step *= gate.slow_factor
         # Fast-forward: the batch composition is frozen until the next
         # in-batch completion, so up to `limit` steps are one occupancy.
         if max_steps is not None and max_steps < limit:
             limit = max_steps
+        boundary = gate.boundary_s if gate is not None else None
         if memory is not None:
-            return self._decode_with_memory(now, step, limit, horizon, max_steps)
+            return self._decode_with_memory(
+                now, step, limit, horizon, max_steps, boundary
+            )
         # With a free slot, a future arrival is admissible at any step
         # boundary: stop at the first boundary that reaches the horizon
         # (with a full batch, arrivals can only queue — no cap needed).
@@ -404,9 +514,22 @@ class ContinuousBatchScheduler(Scheduler):
         # Accumulate the boundaries one step at a time: `end` walks the
         # exact float sequence the uncoalesced loop would produce.
         steps, end = 1, now + step
-        while steps < limit and not (admission_open and end >= horizon):
-            steps += 1
-            end += step
+        if boundary is None:
+            while steps < limit and not (admission_open and end >= horizon):
+                steps += 1
+                end += step
+        else:
+            # A fault transition is an interesting boundary: never extend
+            # the window with a step that crosses it.  The straddling step
+            # (if any) is planned alone — exactly what the step-by-step
+            # loop does — so crash aborts and slowdown repricing land on
+            # identical occupancies in coalesced and uncoalesced runs.
+            while steps < limit and not (admission_open and end >= horizon):
+                nxt = end + step
+                if nxt > boundary:
+                    break
+                steps += 1
+                end = nxt
         finished = []
         for entry in active:
             entry[1] -= steps
@@ -440,6 +563,30 @@ class ContinuousBatchScheduler(Scheduler):
             steps=steps,
             end_s=end,
         )
+
+    def evict_all(self) -> List[RequestRecord]:
+        """Crash support: drain the active batch, then the waiting queue.
+
+        Active members release their KV residency (DRAM and spilled flash
+        bytes) before the queue drains — the computed KV is lost with the
+        device, and a re-queued request pays a fresh re-prefill (and
+        re-spill) through :meth:`_admit_with_memory` wherever it lands
+        next.
+        """
+        active = self._active
+        evicted = [entry[0] for entry in active]
+        memory = self.memory
+        if memory is not None:
+            pool = memory.pool
+            for entry in active:
+                if entry[3]:
+                    pool.release(entry[3])
+                if entry[4]:
+                    memory.discard(entry[4])
+        active.clear()
+        self._lanes = 0
+        self._payloads.clear()
+        return evicted + super().evict_all()
 
     # -- the memory-model path ------------------------------------------------
     def _admit_with_memory(self, now: float, cost) -> Optional[Occupancy]:
@@ -493,6 +640,11 @@ class ContinuousBatchScheduler(Scheduler):
             if len(memo) >= self.MEMO_SIZE:
                 memo.clear()
             memo[id(request)] = (request, ttft)
+        gate = self.faults
+        if gate is not None and gate.slow_factor != 1.0:
+            # Slowdowns model compute, so only the prefill is repriced;
+            # the spill write below still pays modeled flash time.
+            ttft *= gate.slow_factor
         io_seconds = 0.0
         if resident:
             memory.pool.admit(resident)
@@ -571,6 +723,7 @@ class ContinuousBatchScheduler(Scheduler):
         limit: int,
         horizon: Optional[float],
         max_steps: Optional[int] = None,
+        boundary: Optional[float] = None,
     ) -> Occupancy:
         """Plan decode steps under the memory model.
 
@@ -601,9 +754,19 @@ class ContinuousBatchScheduler(Scheduler):
                     dram_capped = True
             admission_open = horizon is not None and len(active) < self.max_batch
             steps, end = 1, now + step
-            while steps < limit and not (admission_open and end >= horizon):
-                steps += 1
-                end += step
+            if boundary is None:
+                while steps < limit and not (admission_open and end >= horizon):
+                    steps += 1
+                    end += step
+            else:
+                # Fault boundaries cap regime-A coalescing exactly like
+                # the slot-count path (see ``next_occupancy``).
+                while steps < limit and not (admission_open and end >= horizon):
+                    nxt = end + step
+                    if nxt > boundary:
+                        break
+                    steps += 1
+                    end = nxt
             if growth:
                 pool.admit(steps * growth)
                 for entry in active:

@@ -423,6 +423,9 @@ def simulate(
     keep_records: bool = True,
     recorder=None,
     profiler=None,
+    faults=None,
+    retry=None,
+    deadline_s: Optional[float] = None,
 ) -> ServingReport:
     """Run the arrival stream to completion and return the report.
 
@@ -475,7 +478,34 @@ def simulate(
     around the loop's dispatch/planning/fold phases — explicitly outside
     the determinism guarantee (it changes nothing but how fast the loop
     runs).
+
+    Resilience: any of ``faults`` (a :class:`repro.faults.FaultSpec`),
+    ``retry`` (a :class:`repro.faults.RetryPolicy`) or ``deadline_s``
+    (per-request deadline, seconds) hands the run to the fault-aware
+    event loop (:func:`repro.faults.engine.simulate_with_faults`), which
+    accepts this function's full surface.  With all three at their None
+    defaults this loop runs untouched — fault-free traces stay
+    byte-identical to earlier versions by construction.
     """
+    if faults is not None or retry is not None or deadline_s is not None:
+        from repro.faults.engine import simulate_with_faults
+
+        return simulate_with_faults(
+            requests,
+            backend,
+            scheduler,
+            faults=faults,
+            retry=retry,
+            deadline_s=deadline_s,
+            slo=slo,
+            runner=runner,
+            max_steps=max_steps,
+            fail_fast=fail_fast,
+            trace_sink=trace_sink,
+            keep_records=keep_records,
+            recorder=recorder,
+            profiler=profiler,
+        )
     scheduler = scheduler if scheduler is not None else FCFSScheduler()
     if scheduler.pending:
         raise ValueError("scheduler already has pending requests; use a fresh one")

@@ -1,0 +1,6 @@
+"""Fault test fixtures: reuse the serving suite's toy backends."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "serving"))
